@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's routing scheme and route some packets.
+
+Builds the Elkin–Neiman compact routing scheme on a random network,
+routes a few packets, and prints the measured quality next to the
+paper's guarantees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import evaluate_routing
+from repro.core import build_routing_scheme
+from repro.graphs import random_connected
+
+N, K, SEED = 80, 3, 42
+
+
+def main() -> None:
+    print(f"Building a random network: n={N} vertices")
+    graph = random_connected(N, edge_probability=0.08, seed=SEED)
+    print(f"  -> {graph.num_edges} edges, connected\n")
+
+    print(f"Constructing the routing scheme (k={K}, "
+          f"stretch bound 4k-5 = {4 * K - 5})...")
+    scheme = build_routing_scheme(graph, k=K, seed=SEED)
+    print(f"  construction cost : {scheme.construction_rounds:,} "
+          f"CONGEST rounds (measured)")
+    print(f"  routing tables    : max {scheme.max_table_words()} words "
+          f"(avg {scheme.average_table_words():.1f})")
+    print(f"  labels            : max {scheme.max_label_words()} words\n")
+
+    print("Routing a few packets (source -> target, path, stretch):")
+    for source, target in [(0, N - 1), (3, 57), (12, 33), (70, 7)]:
+        route = scheme.route(source, target)
+        path = " -> ".join(map(str, route.path[:6]))
+        if len(route.path) > 6:
+            path += f" ... ({route.hops} hops)"
+        print(f"  {source:>3} -> {target:<3}: {path}")
+        print(f"        weight {route.weight:.0f} vs shortest "
+              f"{route.exact_distance:.0f}  "
+              f"(stretch {route.stretch:.3f}, found at level "
+              f"{route.found_level}, tree of {route.tree_center})")
+
+    print("\nEvaluating stretch over 500 random pairs...")
+    report = evaluate_routing(graph, scheme, sample=500, seed=1)
+    print(f"  {report}")
+    print(f"  paper bound: 4k-5 + o(1) = {4 * K - 5} + o(1)")
+    assert report.max_stretch <= 4 * K - 5 + 1.0
+    print("  OK: measured stretch within the paper's guarantee")
+
+
+if __name__ == "__main__":
+    main()

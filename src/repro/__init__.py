@@ -1,0 +1,83 @@
+"""repro — Distributed construction of near-optimal compact routing schemes.
+
+A faithful reproduction of Elkin & Neiman, *"On Efficient Distributed
+Construction of Near Optimal Routing Schemes"* (PODC 2016,
+arXiv:1602.02293), built on a CONGEST-model simulator.
+
+Quickstart
+----------
+>>> from repro import build_routing_scheme, random_geometric
+>>> graph = random_geometric(100, seed=7)
+>>> scheme = build_routing_scheme(graph, k=3, seed=7)
+>>> route = scheme.route(0, 42)
+>>> route.stretch <= 4 * 3 - 5 + 1.0
+True
+"""
+
+__version__ = "1.0.0"
+
+from .exceptions import (
+    CapacityError,
+    DisconnectedGraphError,
+    GraphError,
+    HopsetError,
+    InvalidWeightError,
+    ParameterError,
+    ReproError,
+    RoutingLoopError,
+    SchemeError,
+    SimulationError,
+)
+from .graphs import (
+    WeightedGraph,
+    grid,
+    random_connected,
+    random_geometric,
+    random_tree,
+    ring_of_cliques,
+    star_of_paths,
+    weighted_small_world,
+)
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "CapacityError",
+    "DisconnectedGraphError",
+    "GraphError",
+    "HopsetError",
+    "InvalidWeightError",
+    "ParameterError",
+    "ReproError",
+    "RoutingLoopError",
+    "SchemeError",
+    "SimulationError",
+    # graphs
+    "WeightedGraph",
+    "grid",
+    "random_connected",
+    "random_geometric",
+    "random_tree",
+    "ring_of_cliques",
+    "star_of_paths",
+    "weighted_small_world",
+    # populated lazily below
+    "build_routing_scheme",
+    "build_distance_estimation",
+    "RoutingScheme",
+]
+
+
+def __getattr__(name):
+    """Lazy re-exports of the heavyweight public API.
+
+    Keeps ``import repro`` cheap while still offering
+    ``repro.build_routing_scheme`` etc. at the top level.
+    """
+    if name in ("build_routing_scheme", "RoutingScheme"):
+        from .core import routing_scheme as _rs
+        return getattr(_rs, name)
+    if name == "build_distance_estimation":
+        from .core import distance_estimation as _de
+        return _de.build_distance_estimation
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

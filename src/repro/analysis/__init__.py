@@ -1,0 +1,70 @@
+"""Evaluation harnesses: stretch measurement, size accounting, analytic
+round models, and Table-1 regeneration."""
+
+from .stretch import (
+    StretchReport,
+    evaluate_estimation,
+    evaluate_routing,
+    evaluate_tree_routing,
+    pairs_to_evaluate,
+)
+from .size_accounting import (
+    SizeReport,
+    fit_exponent,
+    measure_routing_sizes,
+    measure_sketch_sizes,
+)
+from .round_model import (
+    TABLE1_MODELS,
+    TABLE1_STRETCH,
+    GraphScale,
+    crossover_diameter,
+    expected_charge_rounds,
+    lower_bound,
+    model_table,
+    rounds_lp13,
+    rounds_lp15,
+    rounds_lp15_sparse,
+    rounds_this_paper,
+    rounds_tz01,
+    subpolynomial_factor,
+)
+from .report import (
+    experiment_report,
+    scheme_sweep_markdown,
+    table1_markdown,
+)
+from .tables import Table1Result, Table1Row, generate_table1, \
+    verify_table1_shape
+
+__all__ = [
+    "StretchReport",
+    "evaluate_estimation",
+    "evaluate_routing",
+    "evaluate_tree_routing",
+    "pairs_to_evaluate",
+    "SizeReport",
+    "fit_exponent",
+    "measure_routing_sizes",
+    "measure_sketch_sizes",
+    "TABLE1_MODELS",
+    "TABLE1_STRETCH",
+    "GraphScale",
+    "crossover_diameter",
+    "expected_charge_rounds",
+    "lower_bound",
+    "model_table",
+    "rounds_lp13",
+    "rounds_lp15",
+    "rounds_lp15_sparse",
+    "rounds_this_paper",
+    "rounds_tz01",
+    "subpolynomial_factor",
+    "experiment_report",
+    "scheme_sweep_markdown",
+    "table1_markdown",
+    "Table1Result",
+    "Table1Row",
+    "generate_table1",
+    "verify_table1_shape",
+]

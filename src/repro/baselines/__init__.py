@@ -1,0 +1,22 @@
+"""Comparator schemes for Table 1: centralized [TZ01] routing, the
+[TZ05] distance oracle, and the [LP13a]/[LP15] distributed schemes."""
+
+from .tz_routing import TZRouteResult, TZRoutingScheme, build_tz_routing
+from .tz_oracle import OracleSketch, TZOracle, build_tz_oracle
+from .lp13 import LP13Label, LP13RouteResult, LP13Scheme, build_lp13_scheme
+from .lp15 import LP15Scheme, build_lp15_scheme
+
+__all__ = [
+    "TZRouteResult",
+    "TZRoutingScheme",
+    "build_tz_routing",
+    "OracleSketch",
+    "TZOracle",
+    "build_tz_oracle",
+    "LP13Label",
+    "LP13RouteResult",
+    "LP13Scheme",
+    "build_lp13_scheme",
+    "LP15Scheme",
+    "build_lp15_scheme",
+]

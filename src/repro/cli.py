@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+build      Build the routing scheme on a generated workload and print
+           the construction report (rounds, sizes, bounds).
+route      Build, then route one packet and print the path and stretch.
+table1     Regenerate Table 1 on a workload.
+estimate   Build the Theorem-6 sketches and answer distance queries.
+bounds     Print the analytic Table-1 round models for given (n, k, D).
+
+Every command takes ``--graph`` (workload family), ``--n``, ``--k`` and
+``--seed``; run with ``-h`` for the full flag list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis import (
+    GraphScale,
+    evaluate_estimation,
+    evaluate_routing,
+    generate_table1,
+    model_table,
+)
+from .core import build_distance_estimation, construct_scheme
+from .graphs import (
+    WeightedGraph,
+    grid,
+    random_connected,
+    random_geometric,
+    ring_of_cliques,
+    star_of_paths,
+    weighted_small_world,
+)
+
+#: Workload name -> factory(n, seed).
+WORKLOADS: Dict[str, Callable[[int, int], WeightedGraph]] = {
+    "random": lambda n, seed: random_connected(n, 6.0 / n, seed=seed),
+    "geometric": lambda n, seed: random_geometric(n, seed=seed),
+    "grid": lambda n, seed: grid(max(2, int(n ** 0.5)),
+                                 max(2, int(n ** 0.5)), seed=seed),
+    "cliques": lambda n, seed: ring_of_cliques(max(2, n // 8), 8,
+                                               seed=seed),
+    "star": lambda n, seed: star_of_paths(max(2, n // 10), 10,
+                                          seed=seed),
+    "smallworld": lambda n, seed: weighted_small_world(n, seed=seed),
+}
+
+
+def _make_graph(args: argparse.Namespace) -> WeightedGraph:
+    factory = WORKLOADS[args.graph]
+    return factory(args.n, args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", choices=sorted(WORKLOADS),
+                        default="random", help="workload family")
+    parser.add_argument("--n", type=int, default=64,
+                        help="approximate number of vertices")
+    parser.add_argument("--k", type=int, default=3,
+                        help="stretch/size tradeoff parameter")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed (construction + workload)")
+    parser.add_argument("--detection-mode",
+                        choices=["rounded", "exact"], default="exact",
+                        help="Theorem-1 mode (round charges identical)")
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    print(f"workload={args.graph} n={graph.num_vertices} "
+          f"m={graph.num_edges}")
+    report = construct_scheme(graph, k=args.k, seed=args.seed,
+                              detection_mode=args.detection_mode)
+    print(report.summary())
+    if args.phases:
+        print("\nper-phase round breakdown:")
+        print(report.scheme.ledger.format_table())
+    if args.evaluate:
+        stretch = evaluate_routing(graph, report.scheme,
+                                   sample=args.evaluate,
+                                   seed=args.seed)
+        print(f"\n{stretch}")
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    report = construct_scheme(graph, k=args.k, seed=args.seed,
+                              detection_mode=args.detection_mode)
+    source = args.source % graph.num_vertices
+    target = args.target % graph.num_vertices
+    result = report.scheme.route(source, target)
+    print(f"route {source} -> {target}")
+    print(f"  path    : {' -> '.join(map(str, result.path))}")
+    print(f"  weight  : {result.weight:.0f} "
+          f"(shortest {result.exact_distance:.0f})")
+    print(f"  stretch : {result.stretch:.3f} "
+          f"(bound {max(1, 4 * args.k - 5)} + o(1))")
+    print(f"  tree    : center {result.tree_center}, found at level "
+          f"{result.found_level}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    result = generate_table1(graph, k=args.k, seed=args.seed,
+                             sample_pairs=args.pairs,
+                             graph_name=args.graph,
+                             detection_mode=args.detection_mode)
+    print(result.format())
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    est = build_distance_estimation(graph, k=args.k, seed=args.seed,
+                                    detection_mode=args.detection_mode)
+    print(f"sketches built: max {est.max_sketch_words()} words, "
+          f"avg {est.average_sketch_words():.1f}")
+    rng = random.Random(args.seed)
+    n = graph.num_vertices
+    queries = args.queries or 5
+    from .graphs import dijkstra_distances
+    for _ in range(queries):
+        u, v = rng.randrange(n), rng.randrange(n)
+        q = est.query(u, v)
+        exact = dijkstra_distances(graph, u)[v]
+        ratio = q.estimate / exact if exact else 1.0
+        print(f"  dist({u},{v}) ~ {q.estimate:.0f} "
+              f"(exact {exact:.0f}, ratio {ratio:.2f}, "
+              f"{q.iterations} iterations)")
+    report = evaluate_estimation(graph, est, sample=300,
+                                 seed=args.seed)
+    print(report)
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    scale = GraphScale(n=args.n, m=args.m or 4 * args.n,
+                       hop_diameter=args.d,
+                       shortest_path_diameter=args.s or args.d)
+    for line in model_table(scale, args.k):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed near-optimal routing schemes "
+                    "(Elkin & Neiman, PODC 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build and report")
+    _add_common(p_build)
+    p_build.add_argument("--phases", action="store_true",
+                         help="print the per-phase round ledger")
+    p_build.add_argument("--evaluate", type=int, metavar="PAIRS",
+                         help="also evaluate stretch on PAIRS pairs")
+    p_build.set_defaults(func=cmd_build)
+
+    p_route = sub.add_parser("route", help="route one packet")
+    _add_common(p_route)
+    p_route.add_argument("--source", type=int, default=0)
+    p_route.add_argument("--target", type=int, default=1)
+    p_route.set_defaults(func=cmd_route)
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1")
+    _add_common(p_table)
+    p_table.add_argument("--pairs", type=int, default=200,
+                         help="stretch-evaluation pair sample")
+    p_table.set_defaults(func=cmd_table1)
+
+    p_est = sub.add_parser("estimate", help="distance estimation demo")
+    _add_common(p_est)
+    p_est.add_argument("--queries", type=int, default=5)
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_bounds = sub.add_parser("bounds",
+                              help="print analytic round models")
+    p_bounds.add_argument("--n", type=int, default=10 ** 6)
+    p_bounds.add_argument("--m", type=int, default=0)
+    p_bounds.add_argument("--d", type=int, default=100)
+    p_bounds.add_argument("--s", type=int, default=0)
+    p_bounds.add_argument("--k", type=int, default=3)
+    p_bounds.set_defaults(func=cmd_bounds)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

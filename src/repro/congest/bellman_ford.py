@@ -1,0 +1,268 @@
+"""Distributed Bellman–Ford explorations with congestion accounting.
+
+Three variants back the paper's construction:
+
+* :func:`nearest_source_exploration` — multi-root BFS/Bellman–Ford where
+  every node keeps only its *nearest* root (used for exact pivots,
+  Section 3.1): each node relays at most one estimate per iteration, so an
+  iteration costs O(1) rounds.
+* :func:`multi_source_exploration` — independent per-source explorations
+  with a *join predicate* (used for cluster growing, Sections 3.2/3.3):
+  a node stores and relays an estimate for source ``u`` only while the
+  predicate holds (Eq. (11)/(14)).  Congestion — the number of distinct
+  live estimates a node must push over one link in one iteration — is
+  measured, and the iteration is charged ``ceil(words / capacity)`` rounds
+  exactly as the paper's pipelining argument schedules it.
+* :func:`virtual_multi_source_exploration` — the same, but over a virtual
+  graph whose "links" are realized by global broadcast (Lemma 1): every
+  iteration's updates are convergecast to a BFS-tree root and broadcast
+  back, costing ``O(M + D)`` measured rounds.
+
+All variants run round-by-round over explicit per-node state, so their
+outputs are exactly what the message-passing execution would compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.shortest_paths import INF
+from ..graphs.virtual_graph import VirtualGraph
+from ..graphs.weighted_graph import WeightedGraph
+from .bfs import BFSTree
+from .metrics import congestion_rounds, pipelined_rounds
+
+#: join(vertex, source, candidate_distance) -> bool
+JoinPredicate = Callable[[int, int, float], bool]
+
+#: Words per (source, distance) estimate on the wire.
+_ESTIMATE_WORDS = 2
+
+
+@dataclass
+class NearestSourceResult:
+    """Outcome of :func:`nearest_source_exploration`."""
+
+    dist: List[float]
+    source_of: List[Optional[int]]
+    parent: List[Optional[int]]
+    iterations: int
+    rounds: int
+
+
+def nearest_source_exploration(graph: WeightedGraph,
+                               sources: Sequence[int],
+                               iterations: int,
+                               capacity_words: int = 2
+                               ) -> NearestSourceResult:
+    """Bounded Bellman–Ford rooted at a vertex *set*.
+
+    After ``t`` iterations each node knows the minimum, over sources ``s``,
+    of the ``t``-hop-bounded distance to ``s``, together with the closest
+    such source and the neighbor (parent) realizing it — exactly the
+    paper's pivot computation ("conduct 4 n^{i/k} ln n iterations of
+    Bellman-Ford rooted in the vertex set A_i").
+
+    Each node sends one ``(source, dist)`` pair per link per iteration, so
+    an iteration costs ``ceil(2 / capacity)`` rounds.
+    """
+    n = graph.num_vertices
+    dist: List[float] = [INF] * n
+    source_of: List[Optional[int]] = [None] * n
+    parent: List[Optional[int]] = [None] * n
+    for s in sources:
+        dist[s] = 0
+        source_of[s] = s
+    frontier = set(sources)
+    per_iter_words: List[int] = []
+    executed = 0
+    for _ in range(iterations):
+        if not frontier:
+            break
+        executed += 1
+        per_iter_words.append(_ESTIMATE_WORDS if frontier else 0)
+        updates: Dict[int, Tuple[float, int, int]] = {}
+        for u in frontier:
+            du = dist[u]
+            su = source_of[u]
+            assert su is not None
+            for v, weight in graph.neighbor_weights(u):
+                nd = du + weight
+                best = updates.get(v)
+                if nd < dist[v] and (best is None or nd < best[0]):
+                    updates[v] = (nd, su, u)
+        frontier = set()
+        for v, (nd, s, via) in updates.items():
+            if nd < dist[v]:
+                dist[v] = nd
+                source_of[v] = s
+                parent[v] = via
+                frontier.add(v)
+    rounds = congestion_rounds(per_iter_words, capacity_words)
+    return NearestSourceResult(dist=dist, source_of=source_of,
+                               parent=parent, iterations=executed,
+                               rounds=rounds)
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a per-source exploration with a join predicate.
+
+    ``dist[v]`` maps each vertex to ``{source: estimate}`` for the sources
+    whose exploration it joined; ``parent[v][source]`` is the neighbor the
+    winning estimate arrived through (``None`` at the source itself).
+    """
+
+    dist: List[Dict[int, float]]
+    parent: List[Dict[int, Optional[int]]]
+    iterations: int
+    rounds: int
+    max_estimates_per_node: int = 0
+
+    def members_of(self, source: int) -> List[int]:
+        """Vertices that joined ``source``'s exploration."""
+        return [v for v in range(len(self.dist)) if source in self.dist[v]]
+
+
+def multi_source_exploration(graph: WeightedGraph,
+                             sources: Sequence[int],
+                             iterations: int,
+                             join: JoinPredicate,
+                             capacity_words: int = 2
+                             ) -> ExplorationResult:
+    """Parallel bounded-depth Bellman–Ford from every source.
+
+    Implements the cluster-growing loop of Section 3.2: a vertex ``v``
+    receiving an estimate ``b_v(u)`` for source ``u`` stores and relays it
+    iff ``join(v, u, b_v(u))`` holds; improved estimates are re-relayed.
+    Sources always hold estimate 0 for themselves.
+
+    Round accounting measures, per iteration, the maximum number of words
+    any single node must push over one of its links (every live update is
+    sent to all neighbors), and charges ``ceil(words / capacity)`` rounds
+    — the paper's congestion argument (Claim 2 bounds the number of live
+    estimates per node by ``Õ(n^{1/k})`` w.h.p.).
+    """
+    n = graph.num_vertices
+    dist: List[Dict[int, float]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+    frontier: Dict[int, List[int]] = {}
+    for s in sources:
+        dist[s][s] = 0.0
+        parent[s][s] = None
+        frontier.setdefault(s, []).append(s)
+    per_iter_words: List[int] = []
+    executed = 0
+    max_live = 0
+    for _ in range(iterations):
+        if not frontier:
+            break
+        executed += 1
+        congestion = max(len(updated) for updated in frontier.values())
+        per_iter_words.append(congestion * _ESTIMATE_WORDS)
+        updates: Dict[int, Dict[int, Tuple[float, int]]] = {}
+        for u, updated_sources in frontier.items():
+            du = dist[u]
+            for v, weight in graph.neighbor_weights(u):
+                bucket = updates.setdefault(v, {})
+                for s in updated_sources:
+                    nd = du[s] + weight
+                    best = bucket.get(s)
+                    if best is None or nd < best[0]:
+                        bucket[s] = (nd, u)
+        frontier = {}
+        for v, bucket in updates.items():
+            changed: List[int] = []
+            for s, (nd, via) in bucket.items():
+                current = dist[v].get(s, INF)
+                if nd < current and join(v, s, nd):
+                    dist[v][s] = nd
+                    parent[v][s] = via
+                    changed.append(s)
+            if changed:
+                frontier[v] = changed
+            if len(dist[v]) > max_live:
+                max_live = len(dist[v])
+    rounds = congestion_rounds(per_iter_words, capacity_words)
+    return ExplorationResult(dist=dist, parent=parent, iterations=executed,
+                             rounds=rounds,
+                             max_estimates_per_node=max_live)
+
+
+@dataclass
+class VirtualExplorationResult:
+    """Outcome of :func:`virtual_multi_source_exploration`.
+
+    Distances/parents are dictionaries keyed by virtual vertex.
+    """
+
+    dist: Dict[int, Dict[int, float]]
+    parent: Dict[int, Dict[int, Optional[int]]]
+    iterations: int
+    rounds: int
+    broadcast_words: int = 0
+
+    def members_of(self, source: int) -> List[int]:
+        return [v for v, d in self.dist.items() if source in d]
+
+
+def virtual_multi_source_exploration(virtual: VirtualGraph,
+                                     sources: Sequence[int],
+                                     iterations: int,
+                                     join: JoinPredicate,
+                                     bfs_tree: BFSTree,
+                                     capacity_words: int = 2
+                                     ) -> VirtualExplorationResult:
+    """Bellman–Ford over a *virtual* graph, Phase-1 style (Section 3.3.2).
+
+    Virtual edges are not physical links, so every iteration is realized
+    by a global exchange (Lemma 1): all fresh estimates are convergecast
+    to the BFS-tree root and broadcast back.  The measured cost of an
+    iteration with ``M`` update words is
+    ``2 * (ceil(M / capacity) + height)`` rounds.
+    """
+    dist: Dict[int, Dict[int, float]] = {v: {} for v in virtual.vertices()}
+    parent: Dict[int, Dict[int, Optional[int]]] = {
+        v: {} for v in virtual.vertices()}
+    frontier: Dict[int, List[int]] = {}
+    for s in sources:
+        dist[s][s] = 0.0
+        parent[s][s] = None
+        frontier.setdefault(s, []).append(s)
+    rounds = 0
+    total_words = 0
+    executed = 0
+    for _ in range(iterations):
+        if not frontier:
+            break
+        executed += 1
+        update_words = sum(
+            len(srcs) * (_ESTIMATE_WORDS + 1) for srcs in frontier.values())
+        total_words += update_words
+        rounds += 2 * pipelined_rounds(update_words, capacity_words,
+                                       bfs_tree.height)
+        updates: Dict[int, Dict[int, Tuple[float, int]]] = {}
+        for u, updated_sources in frontier.items():
+            du = dist[u]
+            for v, weight in virtual.neighbor_weights(u):
+                bucket = updates.setdefault(v, {})
+                for s in updated_sources:
+                    nd = du[s] + weight
+                    best = bucket.get(s)
+                    if best is None or nd < best[0]:
+                        bucket[s] = (nd, u)
+        frontier = {}
+        for v, bucket in updates.items():
+            changed: List[int] = []
+            for s, (nd, via) in bucket.items():
+                current = dist[v].get(s, INF)
+                if nd < current and join(v, s, nd):
+                    dist[v][s] = nd
+                    parent[v][s] = via
+                    changed.append(s)
+            if changed:
+                frontier[v] = changed
+    return VirtualExplorationResult(dist=dist, parent=parent,
+                                    iterations=executed, rounds=rounds,
+                                    broadcast_words=total_words)

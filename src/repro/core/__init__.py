@@ -1,0 +1,82 @@
+"""The paper's core contribution: approximate pivots/clusters (Section 3),
+the compact routing scheme (Section 4), distance estimation (Section 5)
+and distributed tree routing (Section 6)."""
+
+from .params import SchemeParams
+from .sampling import LevelHierarchy, hierarchy_from_levels, sample_levels
+from .clusters import (
+    ExactCluster,
+    ExactClusterSystem,
+    ExactPivots,
+    compute_exact_clusters,
+    compute_exact_pivots,
+    grow_exact_cluster,
+)
+from .approx_clusters import (
+    ApproxCluster,
+    ApproxClusterSystem,
+    ApproxPivots,
+    build_approx_clusters,
+)
+from .tree_routing import (
+    DistributedTreeRouting,
+    ForestRoutingReport,
+    build_distributed_tree_routing,
+    build_forest_routing,
+    sample_splitters,
+)
+from .routing_scheme import (
+    RouteResult,
+    RoutingScheme,
+    VertexLabel,
+    VertexTable,
+    build_routing_scheme,
+)
+from .distance_estimation import (
+    DistanceEstimation,
+    QueryResult,
+    Sketch,
+    build_distance_estimation,
+    estimation_from_clusters,
+    sketches_from_clusters,
+)
+from .handshake import HandshakeRouteResult, HandshakeRouter
+from .scheme_builder import ConstructionReport, construct_scheme, sample_pairs
+
+__all__ = [
+    "SchemeParams",
+    "LevelHierarchy",
+    "hierarchy_from_levels",
+    "sample_levels",
+    "ExactCluster",
+    "ExactClusterSystem",
+    "ExactPivots",
+    "compute_exact_clusters",
+    "compute_exact_pivots",
+    "grow_exact_cluster",
+    "ApproxCluster",
+    "ApproxClusterSystem",
+    "ApproxPivots",
+    "build_approx_clusters",
+    "DistributedTreeRouting",
+    "ForestRoutingReport",
+    "build_distributed_tree_routing",
+    "build_forest_routing",
+    "sample_splitters",
+    "RouteResult",
+    "RoutingScheme",
+    "VertexLabel",
+    "VertexTable",
+    "build_routing_scheme",
+    "DistanceEstimation",
+    "QueryResult",
+    "Sketch",
+    "build_distance_estimation",
+    "estimation_from_clusters",
+    "sketches_from_clusters",
+    "HandshakeRouteResult",
+    "HandshakeRouter",
+    "ConstructionReport",
+    "construct_scheme",
+    "sample_pairs",
+]

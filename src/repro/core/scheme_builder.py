@@ -1,0 +1,135 @@
+"""Top-level orchestration: one call builds everything the paper promises.
+
+:func:`construct_scheme` runs the full pipeline — hierarchy, pivots,
+approximate clusters (Theorem 4), distributed tree routing (Theorem 7),
+routing tables/labels (Theorem 5) and sketches (Theorem 6) — sharing the
+cluster computation between the routing scheme and the estimator, and
+returns a report with every measured quantity benchmarks need alongside
+the paper's analytic bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..congest.bfs import build_bfs_tree
+from ..congest.metrics import CostLedger
+from ..congest.network import Network
+from ..graphs.weighted_graph import WeightedGraph
+from .approx_clusters import ApproxClusterSystem, build_approx_clusters
+from .distance_estimation import (
+    DistanceEstimation,
+    estimation_from_clusters,
+)
+from .params import SchemeParams
+from .routing_scheme import (
+    RoutingScheme,
+    _assemble_tables_and_labels,
+)
+from .tree_routing import build_forest_routing
+
+
+@dataclass
+class ConstructionReport:
+    """Everything one construction run produced and measured."""
+
+    scheme: RoutingScheme
+    estimation: DistanceEstimation
+    clusters: ApproxClusterSystem
+    params: SchemeParams
+    rounds: int
+    hop_diameter_lower_bound: int     # BFS-tree height (>= D/2)
+
+    # measured sizes (words)
+    max_table_words: int = 0
+    avg_table_words: float = 0.0
+    max_label_words: int = 0
+    avg_label_words: float = 0.0
+    max_sketch_words: int = 0
+
+    # paper bounds for side-by-side reporting
+    paper_stretch_bound: float = 0.0
+    paper_round_bound: float = 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"n={self.scheme.graph.num_vertices} k={self.params.k} "
+            f"eps={self.params.eps:.3g}",
+            f"rounds measured      : {self.rounds}",
+            f"rounds paper bound   : {self.paper_round_bound:.0f}",
+            f"table words max/avg  : {self.max_table_words} / "
+            f"{self.avg_table_words:.1f}",
+            f"label words max/avg  : {self.max_label_words} / "
+            f"{self.avg_label_words:.1f}",
+            f"sketch words max     : {self.max_sketch_words}",
+            f"stretch paper bound  : {self.paper_stretch_bound:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+def construct_scheme(graph: WeightedGraph, k: int, seed: int = 0,
+                     eps_override: float = 0.0,
+                     detection_mode: str = "rounded",
+                     capacity_words: int = 2,
+                     use_tz_trick: bool = True) -> ConstructionReport:
+    """Run the full distributed construction and measure it."""
+    clusters = build_approx_clusters(graph, k, seed=seed,
+                                     eps_override=eps_override,
+                                     detection_mode=detection_mode,
+                                     capacity_words=capacity_words)
+    ledger = CostLedger()
+    ledger.merge(clusters.ledger)
+
+    network = Network(graph)
+    trees = {center: cluster.tree()
+             for center, cluster in clusters.clusters.items()}
+    forest = build_forest_routing(trees, graph.num_vertices,
+                                  random.Random(seed + 1),
+                                  bfs_tree=clusters.bfs_tree,
+                                  port_of=network.port_of,
+                                  capacity_words=capacity_words)
+    ledger.merge(forest.ledger)
+
+    tables, labels = _assemble_tables_and_labels(clusters, forest)
+    if not use_tz_trick:
+        for table in tables.values():
+            table.member_labels.clear()
+    scheme = RoutingScheme(graph=graph, params=clusters.params,
+                           clusters=clusters, forest=forest,
+                           tables=tables, labels=labels, ledger=ledger)
+    estimation = estimation_from_clusters(graph, clusters)
+
+    params = clusters.params
+    report = ConstructionReport(
+        scheme=scheme,
+        estimation=estimation,
+        clusters=clusters,
+        params=params,
+        rounds=ledger.total_rounds,
+        hop_diameter_lower_bound=clusters.bfs_tree.height,
+        max_table_words=scheme.max_table_words(),
+        avg_table_words=scheme.average_table_words(),
+        max_label_words=scheme.max_label_words(),
+        avg_label_words=scheme.average_label_words(),
+        max_sketch_words=estimation.max_sketch_words(),
+        paper_stretch_bound=params.stretch_bound,
+        paper_round_bound=params.round_bound(clusters.bfs_tree.height),
+    )
+    return report
+
+
+def sample_pairs(num_vertices: int, count: int,
+                 rng: random.Random) -> List[Tuple[int, int]]:
+    """Distinct-endpoint evaluation pairs (shared by tests/benchmarks)."""
+    pairs = []
+    attempts = 0
+    while len(pairs) < count and attempts < 50 * count:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            pairs.append((u, v))
+    return pairs

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary while tests can assert on the
+specific subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or graph operations."""
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an algorithm requires a connected graph but got one
+    with more than one component."""
+
+
+class InvalidWeightError(GraphError):
+    """Raised when an edge weight is outside ``{1, ..., poly(n)}``.
+
+    The paper (Section 2) assumes integer polynomial weights so that a
+    weight fits in a single ``O(log n)``-bit message word.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the CONGEST simulator is driven incorrectly
+    (e.g. a node program emits a message to a non-neighbor)."""
+
+
+class CapacityError(SimulationError):
+    """Raised when a single message exceeds the per-round link capacity."""
+
+
+class SchemeError(ReproError):
+    """Raised for routing-scheme construction or protocol violations."""
+
+
+class RoutingLoopError(SchemeError):
+    """Raised when the routing protocol fails to make progress
+    (exceeds the hop budget for a single packet)."""
+
+
+class HopsetError(ReproError):
+    """Raised when a hopset fails validation or is used inconsistently."""
+
+
+class ParameterError(ReproError):
+    """Raised for invalid algorithm parameters (e.g. ``k < 1``)."""

@@ -1,0 +1,93 @@
+"""Graph-level metrics used by the paper's analysis.
+
+* **hop-diameter** ``D`` — maximum hop-distance (number of edges, ignoring
+  weights) between any two vertices,
+* **weighted diameter** — maximum ``d_G(u, v)``,
+* **shortest-path diameter** ``S`` — maximum number of hops a shortest path
+  uses.  The paper stresses ``D <= S`` and that ``S`` can be ``Omega(n)``
+  even when ``D`` is small; the [LP15] round bound depends on ``S`` while
+  this paper's depends on ``D``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .shortest_paths import INF, hop_distances, shortest_path_hops
+from .weighted_graph import WeightedGraph
+
+
+def eccentricity_hops(graph: WeightedGraph, source: int) -> int:
+    """Maximum hop-distance from ``source`` to any reachable vertex."""
+    dist = hop_distances(graph, source)
+    finite = [d for d in dist if d != INF]
+    return int(max(finite)) if finite else 0
+
+
+def hop_diameter(graph: WeightedGraph) -> int:
+    """The hop-diameter ``D`` of a connected graph.
+
+    Computed exactly by one BFS per vertex; fine for simulation scales.
+    """
+    graph.require_connected()
+    best = 0
+    for source in graph.vertices():
+        ecc = eccentricity_hops(graph, source)
+        if ecc > best:
+            best = ecc
+    return best
+
+
+def hop_diameter_estimate(graph: WeightedGraph) -> int:
+    """A 2-approximation of ``D`` from a single BFS (lower bound <= D).
+
+    The eccentricity of any vertex is between ``D/2`` and ``D``; we return
+    twice the eccentricity of vertex 0, clamped to ``n - 1``.  Distributed
+    algorithms may use this instead of the exact diameter.
+    """
+    graph.require_connected()
+    if graph.num_vertices <= 1:
+        return 0
+    ecc = eccentricity_hops(graph, 0)
+    return min(2 * ecc, graph.num_vertices - 1)
+
+
+def weighted_diameter(graph: WeightedGraph) -> float:
+    """Maximum shortest-path distance ``max_{u,v} d_G(u, v)``."""
+    graph.require_connected()
+    from .shortest_paths import dijkstra_distances
+    best = 0.0
+    for source in graph.vertices():
+        dist = dijkstra_distances(graph, source)
+        ecc = max(dist)
+        if ecc > best:
+            best = ecc
+    return best
+
+
+def shortest_path_diameter(graph: WeightedGraph) -> int:
+    """The shortest-path diameter ``S``: max hops used by a shortest path.
+
+    Uses the fewest-hops tie-breaking convention of
+    :func:`repro.graphs.shortest_paths.shortest_path_hops` (the paper
+    assumes unique shortest paths).
+    """
+    graph.require_connected()
+    best = 0
+    for source in graph.vertices():
+        _, hops = shortest_path_hops(graph, source)
+        ecc = max(hops)
+        if ecc > best:
+            best = ecc
+    return best
+
+
+def degree_histogram(graph: WeightedGraph) -> List[int]:
+    """``hist[d]`` = number of vertices of degree ``d``."""
+    if graph.num_vertices == 0:
+        return []
+    max_deg = max(graph.degree(u) for u in graph.vertices())
+    hist = [0] * (max_deg + 1)
+    for u in graph.vertices():
+        hist[graph.degree(u)] += 1
+    return hist

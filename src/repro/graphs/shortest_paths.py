@@ -1,0 +1,213 @@
+"""Reference (centralized) shortest-path computations.
+
+These are the *oracles* the test suite and the stretch-evaluation harness
+use to validate the distributed constructions; they are also substrates for
+the centralized baselines ([TZ01], [TZ05]).  Everything here is exact.
+
+Notation follows the paper:
+
+* ``d_G(u, v)``      — shortest-path distance,
+* ``d^(t)_G(u, v)``  — *t-hop-bounded* distance: the least weight of a path
+  with at most ``t`` edges (``INF`` if no such path), Section 2,
+* ``h(u, v)``        — number of hops on a/the shortest path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .weighted_graph import WeightedGraph
+
+#: Sentinel for "unreachable"; safe to add small weights to without overflow.
+INF = float("inf")
+
+
+def dijkstra(graph: WeightedGraph, source: int
+             ) -> Tuple[List[float], List[Optional[int]]]:
+    """Single-source shortest paths.
+
+    Returns ``(dist, parent)`` where ``dist[v]`` is ``d_G(source, v)`` and
+    ``parent[v]`` is the predecessor of ``v`` on a shortest path from
+    ``source`` (``None`` for the source itself and unreachable vertices).
+
+    Ties are broken toward the smaller parent vertex id, which makes the
+    shortest-path forest deterministic — tests rely on this.
+    """
+    n = graph.num_vertices
+    dist: List[float] = [INF] * n
+    parent: List[Optional[int]] = [None] * n
+    dist[source] = 0
+    heap: List[Tuple[float, int, int]] = [(0, source, -1)]
+    done = [False] * n
+    while heap:
+        d, u, from_v = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        if from_v >= 0:
+            parent[u] = from_v
+        for v, weight in graph.neighbor_weights(u):
+            nd = d + weight
+            if nd < dist[v] or (nd == dist[v] and not done[v]
+                                and parent[v] is not None and u < parent[v]):
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v, u))
+                else:
+                    parent[v] = u
+    return dist, parent
+
+
+def dijkstra_distances(graph: WeightedGraph, source: int) -> List[float]:
+    """Single-source shortest-path distances only."""
+    return dijkstra(graph, source)[0]
+
+
+def dijkstra_to_set(graph: WeightedGraph, roots: Sequence[int]
+                    ) -> Tuple[List[float], List[Optional[int]]]:
+    """Multi-root Dijkstra: distance to the nearest root.
+
+    Returns ``(dist, nearest_root)`` where ``dist[v] = d_G(v, roots)`` and
+    ``nearest_root[v]`` is the root realizing it (``None`` if unreachable,
+    or when ``roots`` is empty, in which case ``dist[v] = INF``).
+
+    This computes the exact *pivots* of the Thorup–Zwick hierarchy: for
+    ``roots = A_i``, ``nearest_root[v]`` is an i-pivot of ``v``.
+    """
+    n = graph.num_vertices
+    dist: List[float] = [INF] * n
+    root_of: List[Optional[int]] = [None] * n
+    heap: List[Tuple[float, int, int]] = []
+    for r in sorted(roots):
+        if dist[r] > 0 or root_of[r] is None:
+            dist[r] = 0
+            root_of[r] = r
+            heap.append((0, r, r))
+    heapq.heapify(heap)
+    done = [False] * n
+    while heap:
+        d, u, root = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        root_of[u] = root
+        for v, weight in graph.neighbor_weights(u):
+            nd = d + weight
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v, root))
+    return dist, root_of
+
+
+def hop_bounded_distances(graph: WeightedGraph, source: int, max_hops: int
+                          ) -> List[float]:
+    """Exact ``d^(B)_G(source, .)`` for ``B = max_hops``.
+
+    Implemented as ``max_hops`` rounds of Bellman–Ford relaxation, which is
+    exactly the dynamic program defining hop-bounded distances.
+    """
+    n = graph.num_vertices
+    dist: List[float] = [INF] * n
+    dist[source] = 0
+    frontier = {source}
+    for _ in range(max_hops):
+        if not frontier:
+            break
+        updates: Dict[int, float] = {}
+        for u in frontier:
+            du = dist[u]
+            for v, weight in graph.neighbor_weights(u):
+                nd = du + weight
+                if nd < dist[v] and nd < updates.get(v, INF):
+                    updates[v] = nd
+        frontier = set()
+        for v, nd in updates.items():
+            if nd < dist[v]:
+                dist[v] = nd
+                frontier.add(v)
+    return dist
+
+
+def hop_distances(graph: WeightedGraph, source: int) -> List[float]:
+    """Unweighted BFS hop distances from ``source``."""
+    n = graph.num_vertices
+    dist: List[float] = [INF] * n
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if dist[v] == INF:
+                    dist[v] = level
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return dist
+
+
+def shortest_path_hops(graph: WeightedGraph, source: int
+                       ) -> Tuple[List[float], List[int]]:
+    """Distances plus hop counts ``h(source, .)`` along shortest paths.
+
+    Among equal-weight paths the one with the fewest hops is chosen (and
+    among those, deterministic parent tie-breaking), matching the paper's
+    convention that shortest paths are unique.  Returns ``(dist, hops)``.
+    """
+    n = graph.num_vertices
+    dist: List[float] = [INF] * n
+    hops: List[int] = [0] * n
+    dist[source] = 0
+    heap: List[Tuple[float, int, int]] = [(0, 0, source)]
+    done = [False] * n
+    while heap:
+        d, h, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        hops[u] = h
+        for v, weight in graph.neighbor_weights(u):
+            nd = d + weight
+            if nd < dist[v] or (nd == dist[v] and not done[v]
+                                and h + 1 < hops[v]):
+                dist[v] = nd
+                hops[v] = h + 1
+                heapq.heappush(heap, (nd, h + 1, v))
+    return dist, hops
+
+
+def shortest_path(graph: WeightedGraph, source: int, target: int
+                  ) -> Optional[List[int]]:
+    """A shortest path from ``source`` to ``target`` as a vertex list.
+
+    Returns ``None`` when ``target`` is unreachable.
+    """
+    dist, parent = dijkstra(graph, source)
+    if dist[target] == INF:
+        return None
+    path = [target]
+    while path[-1] != source:
+        prev = parent[path[-1]]
+        assert prev is not None
+        path.append(prev)
+    path.reverse()
+    return path
+
+
+def path_weight(graph: WeightedGraph, path: Sequence[int]) -> int:
+    """Total weight of a path given as a vertex sequence."""
+    total = 0
+    for u, v in zip(path, path[1:]):
+        total += graph.weight(u, v)
+    return total
+
+
+def all_pairs_distances(graph: WeightedGraph) -> List[List[float]]:
+    """Exact all-pairs distances (one Dijkstra per vertex).
+
+    Intended for tests and stretch evaluation on small/medium graphs.
+    """
+    return [dijkstra_distances(graph, s) for s in graph.vertices()]

@@ -1,0 +1,140 @@
+"""Graph transforms for workload preparation.
+
+Utilities the benchmarks and examples use to derive controlled variants
+of a workload: unit weights (makes ``S = D``), weight scaling (stresses
+the polynomial-weight assumption), perturbation (breaks shortest-path
+ties), and subgraph extraction (connected induced subgraphs for
+scale-down sweeps).  All transforms return new graphs; inputs are never
+mutated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence, Union
+
+from ..exceptions import GraphError, ParameterError
+from .generators import RandomLike, _rng
+from .weighted_graph import WeightedGraph
+
+
+def with_unit_weights(graph: WeightedGraph) -> WeightedGraph:
+    """Every edge reweighted to 1 (the ``S = D`` regime)."""
+    out = WeightedGraph(graph.num_vertices)
+    for u, v, _ in graph.edges():
+        out.add_edge(u, v, 1)
+    return out
+
+
+def with_scaled_weights(graph: WeightedGraph, factor: int
+                        ) -> WeightedGraph:
+    """Every weight multiplied by a positive integer ``factor``.
+
+    Shortest paths (and hence all scheme guarantees) are invariant;
+    useful for checking that size/round accounting depends on weights
+    only through the ``log(poly n)`` word assumption.
+    """
+    if factor < 1:
+        raise ParameterError(f"factor must be >= 1, got {factor}")
+    out = WeightedGraph(graph.num_vertices)
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, w * factor)
+    return out
+
+
+def with_perturbed_weights(graph: WeightedGraph,
+                           seed: RandomLike = None,
+                           spread: int = 1) -> WeightedGraph:
+    """Add an independent ``{0..spread}`` jitter to every weight.
+
+    Breaks shortest-path ties, giving the unique-shortest-paths setting
+    the paper assumes for the ``S`` metric.
+    """
+    if spread < 0:
+        raise ParameterError(f"spread must be >= 0, got {spread}")
+    rng = _rng(seed)
+    out = WeightedGraph(graph.num_vertices)
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, w + rng.randint(0, spread))
+    return out
+
+
+def induced_subgraph(graph: WeightedGraph, vertices: Sequence[int]
+                     ) -> WeightedGraph:
+    """The induced subgraph on ``vertices``, relabelled to ``0..|S|-1``.
+
+    Raises :class:`GraphError` if the result is disconnected (every
+    consumer in this library needs connectivity).
+    """
+    chosen = sorted(set(vertices))
+    index = {v: i for i, v in enumerate(chosen)}
+    for v in chosen:
+        if not 0 <= v < graph.num_vertices:
+            raise GraphError(f"vertex {v} outside the graph")
+    out = WeightedGraph(len(chosen))
+    for u, v, w in graph.edges():
+        if u in index and v in index:
+            out.add_edge(index[u], index[v], w)
+    out.require_connected()
+    return out
+
+
+def largest_component_subgraph(graph: WeightedGraph) -> WeightedGraph:
+    """The induced subgraph on the largest connected component."""
+    if graph.num_vertices == 0:
+        return WeightedGraph(0)
+    seen = set()
+    best: list = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        component = graph.connected_component(start)
+        seen.update(component)
+        if len(component) > len(best):
+            best = component
+    return induced_subgraph(graph, best)
+
+
+def random_vertex_sample_subgraph(graph: WeightedGraph, size: int,
+                                  seed: RandomLike = None,
+                                  max_attempts: int = 50
+                                  ) -> WeightedGraph:
+    """A connected induced subgraph of ``size`` vertices, grown by a
+    random BFS ball from a random seed vertex.
+
+    Used by scale-down sweeps that need comparable topology across
+    sizes.  Raises :class:`GraphError` when the graph is smaller than
+    ``size``.
+    """
+    if size < 1:
+        raise ParameterError(f"size must be >= 1, got {size}")
+    if size > graph.num_vertices:
+        raise GraphError(
+            f"cannot sample {size} vertices from a graph on "
+            f"{graph.num_vertices}")
+    rng = _rng(seed)
+    for _ in range(max_attempts):
+        start = rng.randrange(graph.num_vertices)
+        ball = [start]
+        seen = {start}
+        frontier = [start]
+        while frontier and len(ball) < size:
+            next_frontier = []
+            for u in frontier:
+                neighbors = sorted(graph.neighbors(u))
+                rng.shuffle(neighbors)
+                for v in neighbors:
+                    if v not in seen:
+                        seen.add(v)
+                        ball.append(v)
+                        next_frontier.append(v)
+                        if len(ball) == size:
+                            break
+                if len(ball) == size:
+                    break
+            frontier = next_frontier
+        if len(ball) == size:
+            return induced_subgraph(graph, ball)
+    raise GraphError(
+        f"failed to grow a connected {size}-vertex ball in "
+        f"{max_attempts} attempts")

@@ -1,0 +1,184 @@
+"""Dominating virtual graphs (paper, Section 2).
+
+A *virtual graph* on ``G`` is a graph ``G' = (V', E', w')`` with
+``V' ⊆ V`` whose distances dominate those of ``G``:
+``d_G'(u, v) >= d_G(u, v)`` for all ``u, v ∈ V'``.  In the distributed
+setting every vertex of ``V'`` knows the virtual edges touching it, but the
+edges themselves are not network links — Bellman–Ford over a virtual graph
+is executed by broadcasting over the real network (Lemma 1).
+
+The paper builds two virtual graphs:
+
+* ``G'``  — vertices ``V' = A_{ceil(k/2)}`` (plus a sample, for Theorem 3),
+  edges from Theorem 1's ``(1+eps/2)``-approximate ``B``-hop distances,
+* ``G''`` — ``G'`` plus the hopset ``F`` (hopset weights win conflicts).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import GraphError
+from .shortest_paths import INF
+from .weighted_graph import WeightedGraph
+
+
+class VirtualGraph:
+    """A weighted graph on a subset of ``G``'s vertices.
+
+    Unlike :class:`WeightedGraph`, vertices keep their *original* names
+    from the base graph and weights may be any positive number (virtual
+    weights are sums of approximate distances, not raw edge weights).
+    """
+
+    __slots__ = ("_vertices", "_adj")
+
+    def __init__(self, vertices: Sequence[int]) -> None:
+        self._vertices: List[int] = sorted(set(vertices))
+        self._adj: Dict[int, Dict[int, float]] = {
+            v: {} for v in self._vertices}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Insert (or overwrite) the virtual edge ``{u, v}``."""
+        if u not in self._adj or v not in self._adj:
+            raise GraphError(f"virtual edge ({u}, {v}) touches a vertex "
+                             "outside the virtual vertex set")
+        if u == v:
+            raise GraphError(f"virtual self-loop on {u} is not allowed")
+        if weight <= 0:
+            raise GraphError(f"virtual weight must be positive, got {weight}")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def add_edge_if_shorter(self, u: int, v: int, weight: float) -> bool:
+        """Insert ``{u, v}`` only if absent or currently heavier.
+
+        Returns True when the edge was inserted/updated.
+        """
+        current = self._adj[u].get(v)
+        if current is not None and current <= weight:
+            return False
+        self.add_edge(u, v, weight)
+        return True
+
+    def copy(self) -> "VirtualGraph":
+        other = VirtualGraph(self._vertices)
+        for u in self._vertices:
+            for v, w in self._adj[u].items():
+                if u < v:
+                    other.add_edge(u, v, w)
+        return other
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> List[int]:
+        """The virtual vertex set, sorted by original name."""
+        return list(self._vertices)
+
+    def contains(self, u: int) -> bool:
+        return u in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"virtual edge ({u}, {v}) does not exist") \
+                from None
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        return iter(self._adj[u])
+
+    def neighbor_weights(self, u: int) -> Iterator[Tuple[int, float]]:
+        return iter(self._adj[u].items())
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        for u in self._vertices:
+            for v, w in self._adj[u].items():
+                if u < v:
+                    yield (u, v, w)
+
+    # ------------------------------------------------------------------
+    # Distances (reference computations, used by tests/verification)
+    # ------------------------------------------------------------------
+    def dijkstra(self, source: int) -> Dict[int, float]:
+        """Exact single-source distances within the virtual graph."""
+        dist: Dict[int, float] = {v: INF for v in self._vertices}
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        done = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            for v, w in self._adj[u].items():
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def hop_bounded_distances(self, source: int, max_hops: int
+                              ) -> Dict[int, float]:
+        """Exact ``d^(beta)``-style hop-bounded distances in this graph."""
+        dist: Dict[int, float] = {v: INF for v in self._vertices}
+        dist[source] = 0.0
+        frontier = {source}
+        for _ in range(max_hops):
+            if not frontier:
+                break
+            updates: Dict[int, float] = {}
+            for u in frontier:
+                du = dist[u]
+                for v, w in self._adj[u].items():
+                    nd = du + w
+                    if nd < dist[v] and nd < updates.get(v, INF):
+                        updates[v] = nd
+            frontier = set()
+            for v, nd in updates.items():
+                if nd < dist[v]:
+                    dist[v] = nd
+                    frontier.add(v)
+        return dist
+
+    def __repr__(self) -> str:
+        return (f"VirtualGraph(|V'|={self.num_vertices}, "
+                f"|E'|={self.num_edges})")
+
+
+def verify_domination(base: WeightedGraph, virtual: VirtualGraph,
+                      samples: Optional[Sequence[int]] = None) -> bool:
+    """Check ``d_G'(u, v) >= d_G(u, v)`` for (a sample of) sources.
+
+    Exhaustive over ``virtual.vertices()`` when ``samples`` is None.
+    """
+    from .shortest_paths import dijkstra_distances
+    sources = list(samples) if samples is not None else virtual.vertices()
+    for u in sources:
+        base_dist = dijkstra_distances(base, u)
+        virt_dist = virtual.dijkstra(u)
+        for v, dv in virt_dist.items():
+            if dv == INF:
+                continue
+            if dv < base_dist[v] - 1e-9:
+                return False
+    return True

@@ -1,0 +1,21 @@
+"""Path-reporting (beta, eps)-hopsets ([EN16a]-style): data structures,
+construction and per-instance verification."""
+
+from .hopset import Hopset, HopsetEdge
+from .construction import HopsetBuildReport, build_hopset, sample_hierarchy
+from .verification import (
+    measure_hopbound,
+    verify_hopset_property,
+    verify_path_reporting,
+)
+
+__all__ = [
+    "Hopset",
+    "HopsetEdge",
+    "HopsetBuildReport",
+    "build_hopset",
+    "sample_hierarchy",
+    "measure_hopbound",
+    "verify_hopset_property",
+    "verify_path_reporting",
+]

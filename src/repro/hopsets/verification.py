@@ -1,0 +1,100 @@
+"""Hopset verification: Definition 1, Property 1, and β measurement.
+
+The library never *assumes* an analytic hopbound: after building a hopset
+we measure, per instance, the smallest ``β`` such that
+
+    d^(β)_{G''}(u, v) <= (1 + eps) d_{G'}(u, v)   for all u, v,
+
+and downstream phases iterate exactly that many times.  (Phase 1 of the
+cluster construction is a ``β``-iteration Bellman–Ford over ``G''`` —
+using a measured β keeps it both correct and tight.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..exceptions import HopsetError
+from ..graphs.shortest_paths import INF
+from ..graphs.virtual_graph import VirtualGraph
+from .hopset import Hopset
+
+
+def measure_hopbound(base: VirtualGraph, augmented: VirtualGraph,
+                     eps: float, max_beta: Optional[int] = None) -> int:
+    """Smallest β with ``d^(β)_augmented <= (1+eps) * d_base`` everywhere.
+
+    Runs synchronized Bellman–Ford sweeps from every vertex of the
+    augmented graph, stopping as soon as all pairs are within ``(1+eps)``
+    of the base's exact distances.  Intended for virtual graphs (≈ sqrt n
+    vertices), where all-pairs work is affordable.
+    """
+    vertices = base.vertices()
+    if augmented.vertices() != vertices:
+        raise HopsetError("augmented graph must share the base vertex set")
+    if len(vertices) <= 1:
+        return 1
+    exact: Dict[int, Dict[int, float]] = {
+        u: base.dijkstra(u) for u in vertices}
+    targets: Dict[int, Dict[int, float]] = {
+        u: {v: (1.0 + eps) * d for v, d in exact[u].items()
+            if v != u and d < INF}
+        for u in vertices}
+    # current[u][v]: best known hop-bounded distance from u
+    current: Dict[int, Dict[int, float]] = {
+        u: {u: 0.0} for u in vertices}
+    if max_beta is None:
+        max_beta = len(vertices)
+    for beta in range(1, max_beta + 1):
+        for u in vertices:
+            cur = current[u]
+            updates: Dict[int, float] = {}
+            for x, dx in list(cur.items()):
+                for y, w in augmented.neighbor_weights(x):
+                    nd = dx + w
+                    if nd < cur.get(y, INF) and nd < updates.get(y, INF):
+                        updates[y] = nd
+            for y, nd in updates.items():
+                if nd < cur.get(y, INF):
+                    cur[y] = nd
+        if all(current[u].get(v, INF) <= t + 1e-9
+               for u in vertices for v, t in targets[u].items()):
+            return beta
+    raise HopsetError(
+        f"hopbound not reached within {max_beta} iterations; "
+        "the hopset likely violates Definition 1")
+
+
+def verify_hopset_property(base: VirtualGraph, hopset: Hopset,
+                           beta: int, eps: float) -> bool:
+    """Check Definition 1 for the given ``(beta, eps)`` pair."""
+    augmented = hopset.augment(base)
+    vertices = base.vertices()
+    for u in vertices:
+        exact = base.dijkstra(u)
+        bounded = augmented.hop_bounded_distances(u, beta)
+        full = augmented.dijkstra(u)
+        for v in vertices:
+            if v == u or exact[v] == INF:
+                continue
+            # d_G <= d_H (hopset edges must dominate)
+            if full[v] < exact[v] - 1e-9:
+                return False
+            # d^(beta)_H <= (1+eps) d_G
+            if bounded.get(v, INF) > (1.0 + eps) * exact[v] + 1e-9:
+                return False
+    return True
+
+
+def verify_path_reporting(base: VirtualGraph, hopset: Hopset) -> bool:
+    """Check Property 1: every edge's path exists in ``base`` and its
+    length equals the edge weight."""
+    for edge in hopset:
+        total = 0.0
+        for a, b in zip(edge.path, edge.path[1:]):
+            if not base.has_edge(a, b):
+                return False
+            total += base.weight(a, b)
+        if abs(total - edge.weight) > 1e-9 * max(1.0, edge.weight):
+            return False
+    return True

@@ -1,0 +1,193 @@
+"""Rooted-tree representation shared by all tree-routing schemes.
+
+Cluster trees live on arbitrary subsets of the graph's vertices, so the
+tree keeps its own vertex set (original names) with a parent map.  The
+helpers here — subtree sizes, heavy children, DFS entry/exit intervals —
+are exactly the ingredients of the Thorup–Zwick tree-routing scheme the
+paper recaps at the start of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import SchemeError
+
+
+class RootedTree:
+    """A rooted tree over arbitrary integer vertex names.
+
+    Built from a ``{vertex: parent}`` map (root maps to ``None``).
+    Children are kept in sorted order, making DFS timestamps — and hence
+    the whole routing scheme — deterministic.
+    """
+
+    __slots__ = ("root", "_parent", "_children")
+
+    def __init__(self, root: int, parent: Dict[int, Optional[int]]) -> None:
+        if parent.get(root, "missing") is not None:
+            raise SchemeError(f"root {root} must map to None in parent")
+        self.root = root
+        self._parent = dict(parent)
+        self._children: Dict[int, List[int]] = {v: [] for v in parent}
+        for v, p in parent.items():
+            if p is None:
+                continue
+            if p not in self._parent:
+                raise SchemeError(
+                    f"vertex {v} has parent {p} outside the tree")
+            self._children[p].append(v)
+        for kids in self._children.values():
+            kids.sort()
+        self._validate_connected()
+
+    def _validate_connected(self) -> None:
+        seen = set()
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                raise SchemeError(f"cycle detected at vertex {u}")
+            seen.add(u)
+            stack.extend(self._children[u])
+        if len(seen) != len(self._parent):
+            orphans = set(self._parent) - seen
+            raise SchemeError(
+                f"vertices {sorted(orphans)[:5]}... unreachable from root")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._parent)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._parent)
+
+    def contains(self, v: int) -> bool:
+        return v in self._parent
+
+    def parent(self, v: int) -> Optional[int]:
+        try:
+            return self._parent[v]
+        except KeyError:
+            raise SchemeError(f"vertex {v} not in tree") from None
+
+    def children(self, v: int) -> List[int]:
+        return list(self._children[v])
+
+    def is_leaf(self, v: int) -> bool:
+        return not self._children[v]
+
+    def depth_of(self, v: int) -> int:
+        depth = 0
+        while self._parent[v] is not None:
+            v = self._parent[v]  # type: ignore[assignment]
+            depth += 1
+        return depth
+
+    def height(self) -> int:
+        """Maximum depth over all vertices (0 for a singleton)."""
+        depths = self.depths()
+        return max(depths.values()) if depths else 0
+
+    def depths(self) -> Dict[int, int]:
+        """Depth of every vertex, computed in one top-down pass."""
+        out = {self.root: 0}
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            for c in self._children[u]:
+                out[c] = out[u] + 1
+                stack.append(c)
+        return out
+
+    def path_to_root(self, v: int) -> List[int]:
+        path = [v]
+        while self._parent[path[-1]] is not None:
+            path.append(self._parent[path[-1]])  # type: ignore[arg-type]
+        return path
+
+    def path_between(self, u: int, v: int) -> List[int]:
+        """The unique tree path from ``u`` to ``v`` (through their LCA)."""
+        up = self.path_to_root(u)
+        vp = self.path_to_root(v)
+        ancestors_u = {x: i for i, x in enumerate(up)}
+        for j, x in enumerate(vp):
+            if x in ancestors_u:
+                i = ancestors_u[x]
+                return up[:i + 1] + vp[:j][::-1]
+        raise SchemeError("vertices share no ancestor (corrupt tree)")
+
+    # ------------------------------------------------------------------
+    def subtree_sizes(self) -> Dict[int, int]:
+        """Number of vertices in each subtree (bottom-up, iterative)."""
+        sizes = {v: 1 for v in self._parent}
+        for u in reversed(self._dfs_order()):
+            p = self._parent[u]
+            if p is not None:
+                sizes[p] += sizes[u]
+        return sizes
+
+    def heavy_children(self) -> Dict[int, Optional[int]]:
+        """The child with the largest subtree, per vertex (None at leaves).
+
+        Ties break toward the smaller vertex name (children are sorted and
+        ``>`` keeps the first maximum).
+        """
+        sizes = self.subtree_sizes()
+        heavy: Dict[int, Optional[int]] = {}
+        for u in self._parent:
+            best, best_size = None, 0
+            for c in self._children[u]:
+                if sizes[c] > best_size:
+                    best, best_size = c, sizes[c]
+            heavy[u] = best
+        return heavy
+
+    def dfs_intervals(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """DFS entry time ``a_u`` and last-descendant time ``b_u``.
+
+        ``v`` is in the subtree of ``x`` iff ``a_x <= a_v <= b_x``.
+        """
+        order = self._dfs_order()
+        entry = {v: i for i, v in enumerate(order)}
+        exit_time = dict(entry)
+        for u in reversed(order):
+            p = self._parent[u]
+            if p is not None and exit_time[u] > exit_time[p]:
+                exit_time[p] = exit_time[u]
+        return entry, exit_time
+
+    def dfs_order(self) -> List[int]:
+        """Vertices in the (deterministic) DFS pre-order."""
+        return self._dfs_order()
+
+    def _dfs_order(self) -> List[int]:
+        order = []
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            # reversed so the smallest child is visited first
+            stack.extend(reversed(self._children[u]))
+        return order
+
+    def __repr__(self) -> str:
+        return f"RootedTree(root={self.root}, size={self.size})"
+
+
+def tree_from_parent_lists(root: int,
+                           parent_of: Dict[int, Optional[int]]
+                           ) -> RootedTree:
+    """Convenience alias with a descriptive name."""
+    return RootedTree(root, parent_of)
+
+
+def tree_distance(tree: RootedTree, weights, u: int, v: int) -> float:
+    """Length of the unique tree path under a ``weights(a, b)`` callable."""
+    path = tree.path_between(u, v)
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        total += weights(a, b)
+    return total

@@ -1,0 +1,65 @@
+"""RAM-word size accounting.
+
+Throughout the paper, table / label / sketch sizes are measured in RAM
+words of ``O(log n)`` bits each: a vertex name, a port number, a distance
+value (weights are polynomial in ``n``), or a DFS timestamp each occupy
+one word.  This module centralizes that accounting so every scheme in the
+library reports sizes in the same currency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+#: Number of words occupied by one vertex identifier.
+VERTEX_WORDS = 1
+
+#: Number of words occupied by one port number.
+PORT_WORDS = 1
+
+#: Number of words occupied by one distance value (weights are poly(n)).
+DISTANCE_WORDS = 1
+
+#: Number of words occupied by one DFS timestamp.
+TIMESTAMP_WORDS = 1
+
+
+def words_for_vertex() -> int:
+    """Return the word cost of storing a single vertex name."""
+    return VERTEX_WORDS
+
+
+def words_for_entry(*, vertices: int = 0, ports: int = 0, distances: int = 0,
+                    timestamps: int = 0, flags: int = 0) -> int:
+    """Return the word cost of a composite table entry.
+
+    ``flags`` counts boolean/constant-size fields; any positive number of
+    them is charged a single word (they pack into one machine word).
+    """
+    total = (vertices * VERTEX_WORDS + ports * PORT_WORDS
+             + distances * DISTANCE_WORDS + timestamps * TIMESTAMP_WORDS)
+    if flags > 0:
+        total += 1
+    return total
+
+
+def total_words(sizes: Iterable[int]) -> int:
+    """Sum an iterable of word counts."""
+    return sum(sizes)
+
+
+def max_words(sizes: Iterable[int]) -> int:
+    """Maximum of an iterable of word counts (0 when empty)."""
+    sizes = list(sizes)
+    if not sizes:
+        return 0
+    return max(sizes)
+
+
+def average_words(sizes: Iterable[int]) -> float:
+    """Average of an iterable of word counts (0.0 when empty)."""
+    sizes = list(sizes)
+    if not sizes:
+        return 0.0
+    return sum(sizes) / len(sizes)

@@ -1,0 +1,52 @@
+"""Integration test: regenerate Table 1 on a small workload and verify
+its qualitative shape (who wins on which column)."""
+
+import pytest
+
+from repro.analysis import generate_table1, verify_table1_shape
+from repro.graphs import random_connected
+
+
+@pytest.fixture(scope="module")
+def table():
+    graph = random_connected(40, 0.12, seed=701)
+    return generate_table1(graph, k=3, seed=7, sample_pairs=150,
+                           graph_name="test-workload")
+
+
+def test_all_rows_present(table):
+    names = {row.scheme for row in table.rows}
+    assert names == {"TZ01", "LP13a", "LP15", "this paper"}
+
+
+def test_shape_claims_hold(table):
+    assert verify_table1_shape(table) == []
+
+
+def test_our_rounds_are_measured(table):
+    ours = table.row("this paper")
+    assert ours.rounds_kind == "measured"
+    assert ours.rounds > 0
+
+
+def test_stretch_ordering(table):
+    """TZ01 (exact clusters) is at least as tight as the approximate
+    schemes' *bounds*; all obey their own bound columns."""
+    for row in table.rows:
+        slack = 1.0 if row.scheme != "TZ01" else 1e-9
+        if row.scheme == "LP13a":
+            continue  # bound is O(k log k); checked to be finite below
+        assert row.stretch.max_stretch <= row.paper_stretch + slack
+    assert table.row("LP13a").stretch.max_stretch < 60
+
+
+def test_format_is_printable(table):
+    text = table.format()
+    assert "Table 1" in text
+    assert "this paper" in text
+    assert "lower bound" in text
+
+
+def test_row_lookup_raises_for_unknown(table):
+    with pytest.raises(KeyError):
+        table.row("nonexistent")

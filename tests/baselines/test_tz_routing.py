@@ -1,0 +1,84 @@
+"""Tests for the centralized [TZ01] baseline: stretch 4k-5 (exactly, no
+o(1) term — everything is exact here), sizes, trick ablation."""
+
+import random
+
+import pytest
+
+from repro.baselines import build_tz_routing
+from repro.graphs import all_pairs_distances, grid, random_connected
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_connected(40, 0.12, seed=301)
+
+
+@pytest.fixture(scope="module")
+def ap(graph):
+    return all_pairs_distances(graph)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_stretch_at_most_4k_minus_5(graph, ap, k):
+    scheme = build_tz_routing(graph, k=k, seed=5)
+    bound = max(1, 4 * k - 5)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            if u == v:
+                continue
+            result = scheme.route(u, v)
+            assert result.path[0] == u and result.path[-1] == v
+            assert result.weight <= bound * ap[u][v] + 1e-9
+
+
+def test_stretch_without_trick_at_most_4k_minus_3(graph, ap):
+    scheme = build_tz_routing(graph, k=3, seed=5, use_trick=False)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            if u != v:
+                assert scheme.route(u, v).weight <= 9 * ap[u][v] + 1e-9
+
+
+def test_paths_use_graph_edges(graph):
+    scheme = build_tz_routing(graph, k=3, seed=7)
+    rng = random.Random(1)
+    for _ in range(40):
+        u, v = rng.randrange(40), rng.randrange(40)
+        result = scheme.route(u, v)
+        for a, b in zip(result.path, result.path[1:]):
+            assert graph.has_edge(a, b)
+
+
+def test_route_to_self(graph):
+    scheme = build_tz_routing(graph, k=2, seed=7)
+    assert scheme.route(9, 9).path == [9]
+
+
+def test_tables_shrink_with_k():
+    g = random_connected(120, 0.06, seed=5)
+    t2 = build_tz_routing(g, k=2, seed=5).average_table_words()
+    t4 = build_tz_routing(g, k=4, seed=5).average_table_words()
+    assert t4 < t2
+
+
+def test_trick_only_affects_tables(graph):
+    with_trick = build_tz_routing(graph, k=3, seed=9, use_trick=True)
+    without = build_tz_routing(graph, k=3, seed=9, use_trick=False)
+    assert with_trick.max_table_words() >= without.max_table_words()
+    assert with_trick.max_label_words() == without.max_label_words()
+
+
+def test_construction_rounds_is_m(graph):
+    scheme = build_tz_routing(graph, k=3, seed=11)
+    assert scheme.construction_rounds == graph.num_edges
+
+
+def test_on_grid():
+    g = grid(5, 5, seed=2)
+    ap_g = all_pairs_distances(g)
+    scheme = build_tz_routing(g, k=2, seed=3)
+    for u in range(25):
+        for v in range(25):
+            if u != v:
+                assert scheme.route(u, v).weight <= 3 * ap_g[u][v] + 1e-9

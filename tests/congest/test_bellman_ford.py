@@ -1,0 +1,170 @@
+"""Tests for the Bellman–Ford exploration engines."""
+
+import math
+
+import pytest
+
+from repro.congest import (
+    Network,
+    build_bfs_tree,
+    multi_source_exploration,
+    nearest_source_exploration,
+    virtual_multi_source_exploration,
+)
+from repro.graphs import (
+    INF,
+    VirtualGraph,
+    dijkstra_distances,
+    dijkstra_to_set,
+    hop_bounded_distances,
+    random_connected,
+)
+
+
+def always_join(v, s, d):
+    return True
+
+
+class TestNearestSource:
+    def test_matches_dijkstra_to_set(self, medium_random):
+        n = medium_random.num_vertices
+        roots = [0, 7, 13]
+        result = nearest_source_exploration(medium_random, roots, n)
+        exact, _ = dijkstra_to_set(medium_random, roots)
+        assert result.dist == exact
+
+    def test_source_of_is_nearest(self, medium_random):
+        roots = [2, 9]
+        n = medium_random.num_vertices
+        result = nearest_source_exploration(medium_random, roots, n)
+        per_root = {r: dijkstra_distances(medium_random, r) for r in roots}
+        for v in medium_random.vertices():
+            s = result.source_of[v]
+            assert per_root[s][v] == result.dist[v]
+
+    def test_bounded_iterations_give_hop_bounded(self, medium_random):
+        result = nearest_source_exploration(medium_random, [0], 3)
+        expected = hop_bounded_distances(medium_random, 0, 3)
+        assert result.dist == expected
+
+    def test_parent_points_toward_source(self, medium_random):
+        n = medium_random.num_vertices
+        result = nearest_source_exploration(medium_random, [0], n)
+        for v in medium_random.vertices():
+            if v == 0:
+                continue
+            p = result.parent[v]
+            w = medium_random.weight(v, p)
+            assert result.dist[v] == result.dist[p] + w
+
+    def test_rounds_at_least_iterations(self, medium_random):
+        result = nearest_source_exploration(medium_random, [0], 5)
+        assert result.rounds >= result.iterations
+        assert result.iterations <= 5
+
+    def test_early_termination(self):
+        g = random_connected(10, 0.5, seed=3)
+        result = nearest_source_exploration(g, [0], 1000)
+        assert result.iterations < 1000  # frontier empties quickly
+
+
+class TestMultiSource:
+    def test_unrestricted_join_matches_dijkstra(self, medium_random):
+        n = medium_random.num_vertices
+        sources = [0, 5]
+        result = multi_source_exploration(medium_random, sources, n,
+                                          always_join)
+        for s in sources:
+            exact = dijkstra_distances(medium_random, s)
+            for v in medium_random.vertices():
+                assert result.dist[v][s] == exact[v]
+
+    def test_join_predicate_prunes(self, medium_random):
+        exact = dijkstra_distances(medium_random, 0)
+        radius = sorted(exact)[len(exact) // 2]
+
+        def within_radius(v, s, d):
+            return d <= radius
+
+        n = medium_random.num_vertices
+        result = multi_source_exploration(medium_random, [0], n,
+                                          within_radius)
+        members = result.members_of(0)
+        for v in members:
+            assert result.dist[v][0] <= radius
+        # everything whose *shortest path* stays within radius must join:
+        # vertices on a shortest path to a radius-bounded vertex also fit
+        for v in medium_random.vertices():
+            if exact[v] <= radius and v not in members:
+                pytest.fail(f"vertex {v} within radius but not a member")
+
+    def test_parent_pointers_form_tree(self, medium_random):
+        n = medium_random.num_vertices
+        result = multi_source_exploration(medium_random, [3], n, always_join)
+        for v in result.members_of(3):
+            if v == 3:
+                assert result.parent[v][3] is None
+                continue
+            # walk to the root
+            cur, steps = v, 0
+            while cur != 3:
+                cur = result.parent[cur][3]
+                steps += 1
+                assert steps <= n
+            assert cur == 3
+
+    def test_congestion_accounting(self, congested_ring):
+        n = congested_ring.num_vertices
+        sources = list(range(0, n, 2))
+        result = multi_source_exploration(congested_ring, sources, n,
+                                          always_join)
+        # many overlapping explorations => rounds exceed iterations
+        assert result.rounds > result.iterations
+        assert result.max_estimates_per_node == len(sources)
+
+    def test_zero_iterations(self, triangle):
+        result = multi_source_exploration(triangle, [0], 0, always_join)
+        assert result.members_of(0) == [0]
+        assert result.rounds == 0
+
+
+class TestVirtualExploration:
+    def _virtual(self, graph, vertices):
+        virt = VirtualGraph(vertices)
+        for u in vertices:
+            dist = dijkstra_distances(graph, u)
+            for v in vertices:
+                if v > u:
+                    virt.add_edge(u, v, dist[v])
+        return virt
+
+    def test_matches_virtual_dijkstra(self, medium_random):
+        vertices = [0, 5, 10, 15]
+        virt = self._virtual(medium_random, vertices)
+        tree = build_bfs_tree(Network(medium_random), root=0)
+        result = virtual_multi_source_exploration(
+            virt, [0], len(vertices), always_join, tree)
+        exact = virt.dijkstra(0)
+        for v in vertices:
+            assert result.dist[v][0] == pytest.approx(exact[v])
+
+    def test_rounds_include_broadcast_cost(self, medium_random):
+        vertices = [0, 5, 10, 15]
+        virt = self._virtual(medium_random, vertices)
+        tree = build_bfs_tree(Network(medium_random), root=0)
+        result = virtual_multi_source_exploration(
+            virt, [0], 3, always_join, tree)
+        # every iteration pays at least 2 * tree height
+        assert result.rounds >= result.iterations * 2 * tree.height
+
+    def test_hop_bounded_iterations(self, medium_random):
+        vertices = [0, 5, 10, 15, 20]
+        virt = self._virtual(medium_random, vertices)
+        tree = build_bfs_tree(Network(medium_random), root=0)
+        one_hop = virtual_multi_source_exploration(
+            virt, [0], 1, always_join, tree)
+        expected = virt.hop_bounded_distances(0, 1)
+        for v in vertices:
+            if expected[v] < INF:
+                assert one_hop.dist[v].get(0, INF) == pytest.approx(
+                    expected[v])

@@ -1,0 +1,106 @@
+"""Tests for exact TZ pivots/clusters (the oracle machinery)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    SchemeParams,
+    compute_exact_clusters,
+    compute_exact_pivots,
+    sample_levels,
+)
+from repro.graphs import (
+    INF,
+    all_pairs_distances,
+    dijkstra_to_set,
+    random_connected,
+)
+
+
+@pytest.fixture
+def setup():
+    g = random_connected(35, 0.15, seed=8)
+    h = sample_levels(35, SchemeParams(n=35, k=3), random.Random(8))
+    return g, h
+
+
+class TestExactPivots:
+    def test_pivots_match_dijkstra_to_set(self, setup):
+        g, h = setup
+        pivots = compute_exact_pivots(g, h)
+        for i in range(h.k):
+            dist, _ = dijkstra_to_set(g, h.level_set(i))
+            assert pivots[i].dist == dist
+
+    def test_level0_pivot_is_self(self, setup):
+        g, h = setup
+        pivots = compute_exact_pivots(g, h)
+        for v in g.vertices():
+            assert pivots[0].dist[v] == 0
+            assert pivots[0].pivot[v] == v
+
+
+class TestExactClusters:
+    def test_cluster_definition_eq6(self, setup):
+        """C(u) = {v : d(u,v) < d(v, A_{i+1})} exactly."""
+        g, h = setup
+        system = compute_exact_clusters(g, h)
+        ap = all_pairs_distances(g)
+        for center, cluster in system.clusters.items():
+            i = cluster.level
+            next_dist = (system.pivots[i + 1].dist if i + 1 < h.k
+                         else [INF] * g.num_vertices)
+            expected = {v for v in g.vertices()
+                        if ap[center][v] < next_dist[v]}
+            assert set(cluster.members()) == expected
+
+    def test_cluster_distances_exact(self, setup):
+        g, h = setup
+        system = compute_exact_clusters(g, h)
+        ap = all_pairs_distances(g)
+        for center, cluster in system.clusters.items():
+            for v, d in cluster.dist.items():
+                assert d == ap[center][v]
+
+    def test_cluster_trees_are_shortest_path_trees(self, setup):
+        g, h = setup
+        system = compute_exact_clusters(g, h)
+        for center, cluster in system.clusters.items():
+            tree = cluster.tree()
+            for v in cluster.members():
+                if v == center:
+                    continue
+                p = tree.parent(v)
+                assert g.has_edge(v, p)
+                assert cluster.dist[v] == pytest.approx(
+                    cluster.dist[p] + g.weight(v, p))
+
+    def test_every_vertex_in_own_cluster(self, setup):
+        g, h = setup
+        system = compute_exact_clusters(g, h)
+        for v in g.vertices():
+            assert v in system.clusters
+            assert v in system.clusters[v].dist
+
+    def test_top_level_cluster_is_everything(self, setup):
+        g, h = setup
+        system = compute_exact_clusters(g, h)
+        for center in h.centers_at(h.k - 1):
+            assert len(system.clusters[center]) == g.num_vertices
+
+    def test_claim2_overlap_reasonable(self):
+        """Max overlap should be near 4 n^{1/k} log n w.h.p."""
+        import math
+        g = random_connected(100, 0.08, seed=4)
+        h = sample_levels(100, SchemeParams(n=100, k=3), random.Random(4))
+        system = compute_exact_clusters(g, h)
+        bound = 4 * 100 ** (1 / 3) * math.log(100)
+        assert system.max_overlap() <= 2 * bound  # generous at small n
+
+    def test_membership_counts_sum(self, setup):
+        g, h = setup
+        system = compute_exact_clusters(g, h)
+        counts = system.membership_counts()
+        assert sum(counts) == sum(len(c) for c in
+                                  system.clusters.values())

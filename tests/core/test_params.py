@@ -1,0 +1,95 @@
+"""Tests for SchemeParams: the paper's constants and bounds."""
+
+import math
+
+import pytest
+
+from repro.core import SchemeParams
+from repro.exceptions import ParameterError
+
+
+class TestEps:
+    def test_paper_epsilon(self):
+        p = SchemeParams(n=100, k=3)
+        assert p.eps == pytest.approx(1.0 / (48 * 81))
+
+    def test_override(self):
+        p = SchemeParams(n=100, k=3, eps_override=0.25)
+        assert p.eps == 0.25
+
+    def test_eps_shrinks_with_k(self):
+        e = [SchemeParams(n=100, k=k).eps for k in range(1, 6)]
+        assert all(a > b for a, b in zip(e, e[1:]))
+
+
+class TestLevels:
+    @pytest.mark.parametrize("k,half,odd", [
+        (1, 1, True), (2, 1, False), (3, 2, True),
+        (4, 2, False), (5, 3, True), (6, 3, False),
+    ])
+    def test_half_level_and_parity(self, k, half, odd):
+        p = SchemeParams(n=64, k=k)
+        assert p.half_level == half
+        assert p.is_odd == odd
+
+    def test_middle_level_odd_only(self):
+        assert SchemeParams(n=64, k=5).middle_level == 2
+        with pytest.raises(ParameterError):
+            SchemeParams(n=64, k=4).middle_level
+
+
+class TestBudgets:
+    def test_exploration_budget_grows_with_level(self):
+        p = SchemeParams(n=10_000, k=4)
+        budgets = [p.exploration_budget(i) for i in range(4)]
+        assert all(a <= b for a, b in zip(budgets, budgets[1:]))
+
+    def test_budget_capped_at_n_minus_1(self):
+        p = SchemeParams(n=50, k=2)
+        assert p.exploration_budget(2) <= 49
+
+    def test_detection_hop_bound_even_vs_odd(self):
+        even = SchemeParams(n=10 ** 6, k=4)
+        odd = SchemeParams(n=10 ** 6, k=5)
+        # even: 4 sqrt(n) ln n ; odd: 4 n^{1/2+1/(2k)} ln n  (larger)
+        assert odd.detection_hop_bound > even.detection_hop_bound
+
+    def test_sample_probability(self):
+        p = SchemeParams(n=256, k=4)
+        assert p.sample_probability == pytest.approx(256 ** -0.25)
+
+
+class TestBounds:
+    def test_stretch_bound_close_to_4k_minus_5(self):
+        for k in range(2, 8):
+            p = SchemeParams(n=10 ** 6, k=k)
+            assert 4 * k - 5 <= p.stretch_bound <= 4 * k - 5 + 1.0
+
+    def test_round_bound_decreases_for_odd_k(self):
+        """Odd k uses exponent 1/2 + 1/(2k) < 1/2 + 1/k."""
+        even = SchemeParams(n=10 ** 6, k=4).round_bound(10)
+        odd = SchemeParams(n=10 ** 6, k=5).round_bound(10)
+        assert odd < even
+
+    def test_round_bound_includes_diameter(self):
+        p = SchemeParams(n=1000, k=3)
+        assert p.round_bound(1000) > p.round_bound(1)
+
+    def test_size_bounds_positive(self):
+        p = SchemeParams(n=1000, k=3)
+        assert p.table_size_bound_words > 0
+        assert p.label_size_bound_words > 0
+
+
+class TestValidation:
+    def test_bad_n(self):
+        with pytest.raises(ParameterError):
+            SchemeParams(n=0, k=2)
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            SchemeParams(n=10, k=0)
+
+    def test_bad_eps_override(self):
+        with pytest.raises(ParameterError):
+            SchemeParams(n=10, k=2, eps_override=1.5)

@@ -1,0 +1,79 @@
+"""Tests for the level hierarchy sampling (Section 3, Claim 3)."""
+
+import random
+
+import pytest
+
+from repro.core import SchemeParams, hierarchy_from_levels, sample_levels
+from repro.exceptions import ParameterError
+
+
+def sample(n, k, seed):
+    return sample_levels(n, SchemeParams(n=n, k=k), random.Random(seed))
+
+
+class TestNesting:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_levels_nested_and_a0_full(self, k):
+        h = sample(60, k, 1)
+        assert h.levels[0] == list(range(60))
+        for upper, lower in zip(h.levels, h.levels[1:]):
+            assert set(lower) <= set(upper)
+
+    def test_top_level_non_empty(self):
+        # the scheme needs A_{k-1} != ∅; forced if necessary
+        for seed in range(30):
+            h = sample(10, 4, seed)
+            assert h.levels[-1], f"A_k-1 empty at seed {seed}"
+
+    def test_level_of_consistent(self):
+        h = sample(50, 3, 2)
+        for v in range(50):
+            top = h.level_of[v]
+            for i in range(3):
+                assert (v in set(h.levels[i])) == (i <= top)
+
+    def test_centers_partition_vertices(self):
+        h = sample(50, 4, 3)
+        all_centers = []
+        for i in range(4):
+            all_centers.extend(h.centers_at(i))
+        assert sorted(all_centers) == list(range(50))
+
+
+class TestStatistics:
+    def test_claim3_sizes_usually_hold(self):
+        holds = sum(sample(200, 3, seed).respects_claim3_sizes()
+                    for seed in range(20))
+        assert holds >= 18  # w.h.p., generous slack for small n
+
+    def test_expected_sizes_shrink(self):
+        h = sample(400, 4, 5)
+        sizes = h.size_profile()
+        assert sizes[0] == 400
+        assert sizes[-1] < sizes[0]
+
+    def test_determinism(self):
+        a = sample(80, 3, 9)
+        b = sample(80, 3, 9)
+        assert a.levels == b.levels
+
+
+class TestExplicitHierarchy:
+    def test_from_levels(self):
+        h = hierarchy_from_levels([[0, 1, 2, 3], [1, 3], [3]], 4)
+        assert h.level_of == [0, 1, 0, 2]
+        assert h.centers_at(1) == [1]
+        assert h.centers_at(2) == [3]
+
+    def test_rejects_non_nested(self):
+        with pytest.raises(ParameterError):
+            hierarchy_from_levels([[0, 1], [0, 1, 1], [2]], 2)
+
+    def test_rejects_partial_a0(self):
+        with pytest.raises(ParameterError):
+            hierarchy_from_levels([[0, 1], [0]], 3)
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ParameterError):
+            sample_levels(0, SchemeParams(n=1, k=2), random.Random(0))

@@ -1,0 +1,116 @@
+"""Tests for workload generators: connectivity, determinism, structure."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import (
+    SMALL_INSTANCES,
+    WeightedGraph,
+    barbell,
+    caterpillar_tree,
+    expander_like,
+    grid,
+    hop_diameter,
+    path,
+    random_connected,
+    random_geometric,
+    random_tree,
+    ring_of_cliques,
+    star_of_paths,
+    weighted_small_world,
+)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_INSTANCES))
+def test_all_generators_produce_connected_graphs(name):
+    graph = SMALL_INSTANCES[name]()
+    assert isinstance(graph, WeightedGraph)
+    assert graph.is_connected()
+    assert graph.num_vertices >= 1
+    for _, _, w in graph.edges():
+        assert isinstance(w, int) and w >= 1
+
+
+@pytest.mark.parametrize("factory,kwargs", [
+    (random_connected, dict(n=30, edge_probability=0.1)),
+    (random_geometric, dict(n=30)),
+    (expander_like, dict(n=30, degree=4)),
+    (weighted_small_world, dict(n=30)),
+    (random_tree, dict(n=30)),
+])
+def test_determinism_under_seed(factory, kwargs):
+    a = factory(seed=99, **kwargs)
+    b = factory(seed=99, **kwargs)
+    c = factory(seed=100, **kwargs)
+    assert a == b
+    assert sorted(a.edges()) == sorted(b.edges())
+    # different seeds should (for these sizes) differ
+    assert a != c or sorted(a.edges()) != sorted(c.edges())
+
+
+class TestStructure:
+    def test_grid_shape(self):
+        g = grid(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert hop_diameter(g) == 3 + 4 - 2
+
+    def test_path_diameter(self):
+        g = path(10)
+        assert hop_diameter(g) == 9
+
+    def test_ring_of_cliques_counts(self):
+        g = ring_of_cliques(4, 5)
+        assert g.num_vertices == 20
+        # 4 cliques of C(5,2)=10 plus 4 ring edges
+        assert g.num_edges == 4 * 10 + 4
+
+    def test_star_of_paths_structure(self):
+        g = star_of_paths(3, 4)
+        assert g.num_vertices == 1 + 3 * 4
+        assert g.degree(0) == 3
+        # leaves have degree 1
+        leaves = [u for u in g.vertices() if g.degree(u) == 1]
+        assert len(leaves) == 3
+
+    def test_star_of_paths_S_exceeds_D(self):
+        from repro.graphs import shortest_path_diameter
+        g = star_of_paths(3, 6, heavy_weight=1000)
+        assert shortest_path_diameter(g) >= hop_diameter(g)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(25, seed=5)
+        assert g.num_edges == 24
+        assert g.is_connected()
+
+    def test_caterpillar_counts(self):
+        g = caterpillar_tree(5, 2)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14  # it is a tree
+
+    def test_barbell_connected_blobs(self):
+        g = barbell(5, 4)
+        assert g.is_connected()
+        assert g.degree(0) == 4  # inside first clique
+
+
+class TestValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ParameterError):
+            random_connected(10, 1.5)
+
+    def test_bad_n(self):
+        with pytest.raises(ParameterError):
+            random_connected(0)
+        with pytest.raises(ParameterError):
+            expander_like(1)
+
+    def test_bad_grid(self):
+        with pytest.raises(ParameterError):
+            grid(0, 5)
+
+    def test_rng_instance_accepted(self):
+        import random as _random
+        rng = _random.Random(7)
+        g = random_connected(10, 0.2, seed=rng)
+        assert g.is_connected()

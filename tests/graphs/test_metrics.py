@@ -1,0 +1,67 @@
+"""Tests for graph metrics: D, S, weighted diameter."""
+
+from repro.graphs import (
+    WeightedGraph,
+    degree_histogram,
+    eccentricity_hops,
+    grid,
+    hop_diameter,
+    hop_diameter_estimate,
+    path,
+    shortest_path_diameter,
+    star_of_paths,
+    weighted_diameter,
+)
+
+
+class TestHopDiameter:
+    def test_path(self):
+        assert hop_diameter(path(6)) == 5
+
+    def test_grid(self):
+        assert hop_diameter(grid(3, 3)) == 4
+
+    def test_single_vertex(self):
+        assert hop_diameter(WeightedGraph(1)) == 0
+
+    def test_estimate_sandwiches_exact(self):
+        for g in (grid(4, 5, seed=1), path(12)):
+            exact = hop_diameter(g)
+            est = hop_diameter_estimate(g)
+            assert exact <= est <= 2 * exact
+
+    def test_eccentricity_center_vs_end(self):
+        g = path(9)
+        assert eccentricity_hops(g, 4) == 4
+        assert eccentricity_hops(g, 0) == 8
+
+
+class TestWeightedAndS:
+    def test_weighted_diameter_triangle(self, triangle):
+        assert weighted_diameter(triangle) == 3
+
+    def test_S_at_least_D(self):
+        # Heavy hub chords force shortest paths through many hops.
+        g = star_of_paths(4, 5, heavy_weight=1000)
+        S = shortest_path_diameter(g)
+        D = hop_diameter(g)
+        assert D <= S
+        # two arm tips: D goes through hub (~10 hops) but the weighted
+        # shortest path also goes through the hub here; S counts it
+        assert S >= 2 * 5
+
+    def test_unit_weights_S_equals_D(self):
+        g = grid(3, 4, seed=None)
+        # rebuild with unit weights
+        unit = WeightedGraph(g.num_vertices)
+        for u, v, _ in g.edges():
+            unit.add_edge(u, v, 1)
+        assert shortest_path_diameter(unit) == hop_diameter(unit)
+
+
+def test_degree_histogram():
+    g = path(4)
+    hist = degree_histogram(g)
+    assert hist[1] == 2  # endpoints
+    assert hist[2] == 2  # middle
+    assert degree_histogram(WeightedGraph(0)) == []

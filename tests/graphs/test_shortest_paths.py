@@ -1,0 +1,163 @@
+"""Tests for the reference shortest-path oracles, including a
+property-based comparison against networkx Dijkstra."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    INF,
+    WeightedGraph,
+    all_pairs_distances,
+    dijkstra,
+    dijkstra_distances,
+    dijkstra_to_set,
+    hop_bounded_distances,
+    hop_distances,
+    path_weight,
+    random_connected,
+    shortest_path,
+    shortest_path_hops,
+)
+
+
+def _random_graph(n, p, wmax, seed):
+    return random_connected(n, p, max_weight=wmax, seed=seed)
+
+
+class TestDijkstra:
+    def test_triangle(self, triangle):
+        dist = dijkstra_distances(triangle, 0)
+        assert dist == [0, 1, 3]  # 0-1-2 beats the weight-4 edge
+
+    def test_parent_reconstructs_shortest_path(self, medium_random):
+        dist, parent = dijkstra(medium_random, 0)
+        for v in medium_random.vertices():
+            if v == 0:
+                assert parent[v] is None
+                continue
+            path = [v]
+            while parent[path[-1]] is not None:
+                path.append(parent[path[-1]])
+            assert path[-1] == 0
+            assert path_weight(medium_random, path) == dist[v]
+
+    def test_unreachable_is_inf(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 1)
+        dist = dijkstra_distances(g, 0)
+        assert dist[2] == INF
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 30))
+    def test_matches_networkx(self, seed, n):
+        import networkx as nx
+        g = _random_graph(n, 0.2, 50, seed)
+        ours = dijkstra_distances(g, 0)
+        theirs = nx.single_source_dijkstra_path_length(
+            g.to_networkx(), 0, weight="weight")
+        for v in g.vertices():
+            assert ours[v] == theirs[v]
+
+
+class TestDijkstraToSet:
+    def test_roots_have_zero(self, medium_random):
+        dist, root_of = dijkstra_to_set(medium_random, [3, 7])
+        assert dist[3] == 0 and root_of[3] == 3
+        assert dist[7] == 0 and root_of[7] == 7
+
+    def test_matches_min_over_roots(self, medium_random):
+        roots = [1, 5, 9]
+        dist, root_of = dijkstra_to_set(medium_random, roots)
+        per_root = {r: dijkstra_distances(medium_random, r) for r in roots}
+        for v in medium_random.vertices():
+            expected = min(per_root[r][v] for r in roots)
+            assert dist[v] == expected
+            assert per_root[root_of[v]][v] == expected
+
+    def test_empty_roots(self, triangle):
+        dist, root_of = dijkstra_to_set(triangle, [])
+        assert all(d == INF for d in dist)
+        assert all(r is None for r in root_of)
+
+
+class TestHopBounded:
+    def test_zero_hops(self, triangle):
+        dist = hop_bounded_distances(triangle, 0, 0)
+        assert dist == [0, INF, INF]
+
+    def test_one_hop_uses_direct_edges(self, triangle):
+        dist = hop_bounded_distances(triangle, 0, 1)
+        assert dist == [0, 1, 4]  # direct 0-2 edge only
+
+    def test_two_hops_finds_detour(self, triangle):
+        dist = hop_bounded_distances(triangle, 0, 2)
+        assert dist == [0, 1, 3]
+
+    def test_monotone_in_hops(self, medium_random):
+        full = dijkstra_distances(medium_random, 0)
+        prev = hop_bounded_distances(medium_random, 0, 1)
+        for hops in range(2, 8):
+            cur = hop_bounded_distances(medium_random, 0, hops)
+            for v in medium_random.vertices():
+                assert cur[v] <= prev[v]
+                assert cur[v] >= full[v]
+            prev = cur
+
+    def test_converges_to_exact(self, medium_random):
+        n = medium_random.num_vertices
+        full = dijkstra_distances(medium_random, 0)
+        bounded = hop_bounded_distances(medium_random, 0, n - 1)
+        assert bounded == full
+
+
+class TestHops:
+    def test_hop_distances_bfs(self, small_grid):
+        dist = hop_distances(small_grid, 0)
+        assert dist[0] == 0
+        assert dist[15] == 6  # opposite grid corner: 3 + 3
+
+    def test_shortest_path_hops_consistent(self, medium_random):
+        dist, hops = shortest_path_hops(medium_random, 0)
+        exact = dijkstra_distances(medium_random, 0)
+        for v in medium_random.vertices():
+            assert dist[v] == exact[v]
+            if v != 0:
+                assert hops[v] >= 1
+            bounded = hop_bounded_distances(medium_random, 0, hops[v])
+            assert bounded[v] == exact[v]  # hops suffice to realize dist
+
+
+class TestPaths:
+    def test_shortest_path_endpoints(self, medium_random):
+        p = shortest_path(medium_random, 0, 17)
+        assert p[0] == 0 and p[-1] == 17
+        assert path_weight(medium_random, p) == \
+            dijkstra_distances(medium_random, 0)[17]
+
+    def test_shortest_path_unreachable(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 1)
+        assert shortest_path(g, 0, 2) is None
+
+    def test_all_pairs_symmetric(self, small_grid):
+        ap = all_pairs_distances(small_grid)
+        n = small_grid.num_vertices
+        for u in range(n):
+            for v in range(n):
+                assert ap[u][v] == ap[v][u]
+        for u in range(n):
+            assert ap[u][u] == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_triangle_inequality(self, seed):
+        g = _random_graph(15, 0.3, 20, seed)
+        ap = all_pairs_distances(g)
+        n = g.num_vertices
+        rnd = random.Random(seed)
+        for _ in range(30):
+            a, b, c = rnd.randrange(n), rnd.randrange(n), rnd.randrange(n)
+            assert ap[a][c] <= ap[a][b] + ap[b][c]

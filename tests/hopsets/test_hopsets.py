@@ -1,0 +1,189 @@
+"""Tests for hopset data structures, construction and verification."""
+
+import random
+
+import pytest
+
+from repro.exceptions import HopsetError, ParameterError
+from repro.graphs import (
+    INF,
+    VirtualGraph,
+    dijkstra_distances,
+    random_connected,
+)
+from repro.hopsets import (
+    Hopset,
+    HopsetEdge,
+    build_hopset,
+    measure_hopbound,
+    sample_hierarchy,
+    verify_hopset_property,
+    verify_path_reporting,
+)
+
+
+def ring_virtual(m, weight=1.0):
+    """A virtual ring: long unaided hop distances, ideal hopset testbed."""
+    virt = VirtualGraph(list(range(m)))
+    for u in range(m):
+        virt.add_edge(u, (u + 1) % m, weight)
+    return virt
+
+
+def detection_virtual(seed=5, n=40, num_sources=10):
+    """A G'-like virtual graph built from exact distances of a sample."""
+    g = random_connected(n, 0.12, seed=seed)
+    rng = random.Random(seed)
+    sources = sorted(rng.sample(range(n), num_sources))
+    virt = VirtualGraph(sources)
+    for u in sources:
+        dist = dijkstra_distances(g, u)
+        for v in sources:
+            if v > u and dist[v] < INF:
+                virt.add_edge(u, v, dist[v])
+    return virt
+
+
+class TestHopsetEdge:
+    def test_valid_edge(self):
+        e = HopsetEdge(0, 3, 5.0, (0, 1, 2, 3))
+        assert e.other(0) == 3
+        assert e.other(3) == 0
+
+    def test_bad_endpoints_raise(self):
+        with pytest.raises(HopsetError):
+            HopsetEdge(0, 3, 5.0, (1, 2, 3))
+        with pytest.raises(HopsetError):
+            HopsetEdge(0, 3, 5.0, (0,))
+
+    def test_nonpositive_weight_raises(self):
+        with pytest.raises(HopsetError):
+            HopsetEdge(0, 1, 0.0, (0, 1))
+
+    def test_other_rejects_non_endpoint(self):
+        e = HopsetEdge(0, 3, 5.0, (0, 3))
+        with pytest.raises(HopsetError):
+            e.other(1)
+
+    def test_prefix_distances(self):
+        virt = ring_virtual(5, weight=2.0)
+        e = HopsetEdge(0, 2, 4.0, (0, 1, 2))
+        assert e.prefix_distances(virt) == [0.0, 2.0, 4.0]
+
+
+class TestHopsetContainer:
+    def test_add_keeps_lighter_duplicate(self):
+        hs = Hopset()
+        hs.add(HopsetEdge(0, 1, 5.0, (0, 1)))
+        hs.add(HopsetEdge(1, 0, 3.0, (1, 0)))
+        assert len(hs) == 1
+        assert hs.lookup(0, 1).weight == 3.0
+        hs.add(HopsetEdge(0, 1, 9.0, (0, 1)))
+        assert hs.lookup(0, 1).weight == 3.0
+
+    def test_augment_overrides_weight(self):
+        virt = ring_virtual(4)
+        hs = Hopset()
+        hs.add(HopsetEdge(0, 1, 7.0, (0, 1)))
+        aug = hs.augment(virt)
+        assert aug.weight(0, 1) == 7.0   # hopset wins the conflict
+        assert virt.weight(0, 1) == 1.0  # base untouched
+
+
+class TestSampleHierarchy:
+    def test_nested_and_shrinking(self):
+        rng = random.Random(3)
+        hierarchy = sample_hierarchy(list(range(100)), 4, rng)
+        assert len(hierarchy) == 4
+        for upper, lower in zip(hierarchy, hierarchy[1:]):
+            assert set(lower) <= set(upper)
+        assert len(hierarchy[-1]) < len(hierarchy[0])
+
+    def test_level_zero_is_everything(self):
+        rng = random.Random(3)
+        hierarchy = sample_hierarchy([5, 1, 9], 2, rng)
+        assert hierarchy[0] == [1, 5, 9]
+
+
+class TestConstruction:
+    def test_hopset_property_on_ring(self):
+        virt = ring_virtual(24)
+        report = build_hopset(virt, eps=0.25, rho=0.5,
+                              rng=random.Random(1))
+        beta = report.hopset.beta_measured
+        assert beta is not None
+        # unaided, antipodal pairs need 12 hops; hopset must shortcut
+        assert beta < 12
+        assert verify_hopset_property(virt, report.hopset, beta, 0.25)
+
+    def test_hopset_property_on_detection_graph(self):
+        virt = detection_virtual()
+        report = build_hopset(virt, eps=0.2, rho=0.5, rng=random.Random(2))
+        beta = report.hopset.beta_measured
+        assert verify_hopset_property(virt, report.hopset, beta, 0.2)
+
+    def test_path_reporting(self):
+        for virt in (ring_virtual(20), detection_virtual()):
+            report = build_hopset(virt, eps=0.3, rng=random.Random(4))
+            assert verify_path_reporting(virt, report.hopset)
+
+    def test_size_reasonable(self):
+        virt = ring_virtual(40)
+        report = build_hopset(virt, eps=0.3, rho=0.5, rng=random.Random(7))
+        m = virt.num_vertices
+        # TZ emulator with 2 levels: O(m^{1.5}) edges, far below m^2
+        assert len(report.hopset) <= 4 * int(m ** 1.5)
+
+    def test_more_levels_with_smaller_rho(self):
+        virt = detection_virtual()
+        r2 = build_hopset(virt, eps=0.3, rho=0.5, rng=random.Random(1))
+        r4 = build_hopset(virt, eps=0.3, rho=0.25, rng=random.Random(1))
+        assert r2.levels == 2
+        assert r4.levels == 4
+
+    def test_trivial_graphs(self):
+        empty = VirtualGraph([])
+        report = build_hopset(empty, eps=0.3)
+        assert len(report.hopset) == 0
+        single = VirtualGraph([7])
+        report = build_hopset(single, eps=0.3)
+        assert report.hopset.beta_measured == 1
+
+    def test_bad_parameters(self):
+        virt = ring_virtual(5)
+        with pytest.raises(ParameterError):
+            build_hopset(virt, eps=0.0)
+        with pytest.raises(ParameterError):
+            build_hopset(virt, eps=0.3, rho=0.0)
+
+    def test_rounds_positive_and_scale_with_size(self):
+        small = build_hopset(ring_virtual(10), eps=0.3,
+                             rng=random.Random(1))
+        large = build_hopset(ring_virtual(40), eps=0.3,
+                             rng=random.Random(1))
+        assert large.rounds > small.rounds > 0
+
+
+class TestMeasureHopbound:
+    def test_clique_has_hopbound_one(self):
+        virt = VirtualGraph(list(range(6)))
+        for u in range(6):
+            for v in range(u + 1, 6):
+                virt.add_edge(u, v, 1.0)
+        assert measure_hopbound(virt, virt, eps=0.1) == 1
+
+    def test_ring_without_hopset_needs_many_hops(self):
+        virt = ring_virtual(16)
+        assert measure_hopbound(virt, virt, eps=0.01) == 8
+
+    def test_raises_when_unreachable(self):
+        base = ring_virtual(8)
+        # bogus 'augmented' graph missing edges entirely
+        sparse = VirtualGraph(list(range(8)))
+        sparse.add_edge(0, 1, 1.0)
+        with pytest.raises(HopsetError):
+            measure_hopbound(base, sparse, eps=0.1, max_beta=10)
+
+    def test_mismatched_vertices_raise(self):
+        with pytest.raises(HopsetError):
+            measure_hopbound(ring_virtual(5), ring_virtual(6), eps=0.1)

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["build"])
+        assert args.graph == "random"
+        assert args.n == 64
+        assert args.k == 3
+
+    def test_all_workloads_buildable(self):
+        for name, factory in WORKLOADS.items():
+            g = factory(40, 1)
+            assert g.is_connected(), name
+
+
+class TestCommands:
+    def test_build(self, capsys):
+        assert main(["build", "--n", "30", "--k", "2",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds measured" in out
+        assert "table words" in out
+
+    def test_build_with_phases_and_eval(self, capsys):
+        assert main(["build", "--n", "25", "--k", "2", "--phases",
+                     "--evaluate", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase round breakdown" in out
+        assert "stretch over 40 pairs" in out
+
+    def test_route(self, capsys):
+        assert main(["route", "--n", "30", "--k", "2",
+                     "--source", "0", "--target", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "route 0 -> 7" in out
+        assert "stretch" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--n", "30", "--k", "2",
+                     "--pairs", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "this paper" in out
+        assert "TZ01" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--n", "30", "--k", "2",
+                     "--queries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sketches built" in out
+        assert "dist(" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n", "1000000", "--d", "1000",
+                     "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out
+        assert "this paper" in out
+
+    def test_grid_workload(self, capsys):
+        assert main(["build", "--graph", "grid", "--n", "25",
+                     "--k", "2"]) == 0
+        assert "rounds measured" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for centralized TZ interval tree routing: correctness on every
+pair, size bounds, and the log n label-entry bound."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SchemeError
+from repro.trees import RootedTree, build_tree_routing
+
+
+def random_tree(n, seed):
+    rng = random.Random(seed)
+    parent = {0: None}
+    for v in range(1, n):
+        parent[v] = rng.randrange(v)
+    return RootedTree(0, parent)
+
+
+class TestRoutingCorrectness:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(2, 35))
+    def test_every_pair_routes_on_tree_path(self, seed, n):
+        tree = random_tree(n, seed)
+        scheme = build_tree_routing(tree)
+        rng = random.Random(seed)
+        vertices = list(tree.vertices())
+        for _ in range(min(25, n * n)):
+            s = rng.choice(vertices)
+            t = rng.choice(vertices)
+            path = scheme.route(s, t)
+            assert path == tree.path_between(s, t)
+
+    def test_route_to_self(self):
+        tree = random_tree(10, 1)
+        scheme = build_tree_routing(tree)
+        assert scheme.route(4, 4) == [4]
+
+    def test_route_root_to_leaf_and_back(self):
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2})
+        scheme = build_tree_routing(tree)
+        assert scheme.route(0, 3) == [0, 1, 2, 3]
+        assert scheme.route(3, 0) == [3, 2, 1, 0]
+
+    def test_next_hop_uses_only_local_table(self):
+        """Each step consults exactly the current node's table."""
+        tree = random_tree(15, 2)
+        scheme = build_tree_routing(tree)
+        label = scheme.label_of(11)
+        x = 0
+        while True:
+            nxt = scheme.next_hop(x, label)
+            if nxt is None:
+                break
+            # the chosen next hop is a tree neighbor of x
+            assert tree.parent(x) == nxt or x == tree.parent(nxt)
+            x = nxt
+        assert x == 11
+
+
+class TestSizes:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(2, 60))
+    def test_label_entries_at_most_log_n(self, seed, n):
+        tree = random_tree(n, seed)
+        scheme = build_tree_routing(tree)
+        bound = math.ceil(math.log2(n)) + 1
+        for v in tree.vertices():
+            assert len(scheme.label_of(v).path_edges) <= bound
+
+    def test_table_constant_words(self):
+        tree = random_tree(50, 3)
+        scheme = build_tree_routing(tree)
+        assert scheme.max_table_words() == 6
+
+    def test_path_of_heavy_children_gives_empty_labels(self):
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2})
+        scheme = build_tree_routing(tree)
+        for v in tree.vertices():
+            assert scheme.label_of(v).path_edges == ()
+
+    def test_star_labels_single_entry(self):
+        tree = RootedTree(0, {0: None, **{i: 0 for i in range(1, 8)}})
+        scheme = build_tree_routing(tree)
+        # leaf 1 is the heavy child (ties -> smallest); others need 1 entry
+        assert scheme.label_of(1).path_edges == ()
+        for v in range(2, 8):
+            assert len(scheme.label_of(v).path_edges) == 1
+
+
+class TestPorts:
+    def test_custom_port_function(self):
+        tree = RootedTree(0, {0: None, 1: 0, 2: 0})
+        ports = {(0, 1): 7, (0, 2): 9, (1, 0): 0, (2, 0): 0}
+        scheme = build_tree_routing(tree, port_of=lambda u, v: ports[(u, v)])
+        assert scheme.table_of(1).parent_port == 0
+        heavy = scheme.table_of(0)
+        assert heavy.heavy_child == 1
+        assert heavy.heavy_child_port == 7
+
+    def test_label_carries_ports(self):
+        tree = RootedTree(0, {0: None, 1: 0, 2: 0})
+        ports = {(0, 1): 7, (0, 2): 9, (1, 0): 0, (2, 0): 0}
+        scheme = build_tree_routing(tree, port_of=lambda u, v: ports[(u, v)])
+        label2 = scheme.label_of(2)
+        assert label2.port_from(0) == (2, 9)
+
+
+class TestMisuse:
+    def test_label_from_other_tree_detected(self):
+        a = build_tree_routing(random_tree(8, 1))
+        b = build_tree_routing(RootedTree(100, {100: None, 101: 100}))
+        foreign = b.label_of(101)
+        # routing with a foreign label either loops (caught) or errors
+        with pytest.raises(Exception):
+            a.route(0, 101)

@@ -1,0 +1,104 @@
+"""Tests for the rooted-tree structure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SchemeError
+from repro.trees import RootedTree, tree_distance
+
+
+def chain(n):
+    return RootedTree(0, {i: (i - 1 if i else None) for i in range(n)})
+
+
+def star(n):
+    return RootedTree(0, {0: None, **{i: 0 for i in range(1, n)}})
+
+
+def random_parent_map(n, seed):
+    rng = random.Random(seed)
+    parent = {0: None}
+    for v in range(1, n):
+        parent[v] = rng.randrange(v)
+    return parent
+
+
+class TestConstruction:
+    def test_root_must_map_to_none(self):
+        with pytest.raises(SchemeError):
+            RootedTree(0, {0: 1, 1: None})
+
+    def test_parent_outside_tree_rejected(self):
+        with pytest.raises(SchemeError):
+            RootedTree(0, {0: None, 1: 99})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SchemeError):
+            RootedTree(0, {0: None, 1: 2, 2: 1})
+
+    def test_singleton(self):
+        t = RootedTree(5, {5: None})
+        assert t.size == 1
+        assert t.is_leaf(5)
+        assert t.height() == 0
+
+
+class TestStructure:
+    def test_children_sorted(self):
+        t = RootedTree(0, {0: None, 3: 0, 1: 0, 2: 0})
+        assert t.children(0) == [1, 2, 3]
+
+    def test_depths_and_height(self):
+        t = chain(5)
+        assert t.depths() == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert t.height() == 4
+        assert t.depth_of(3) == 3
+
+    def test_path_between_through_lca(self):
+        #      0
+        #     / \
+        #    1   2
+        #   /     \
+        #  3       4
+        t = RootedTree(0, {0: None, 1: 0, 2: 0, 3: 1, 4: 2})
+        assert t.path_between(3, 4) == [3, 1, 0, 2, 4]
+        assert t.path_between(3, 3) == [3]
+        assert t.path_between(0, 4) == [0, 2, 4]
+
+    def test_subtree_sizes(self):
+        t = RootedTree(0, {0: None, 1: 0, 2: 0, 3: 1, 4: 1})
+        sizes = t.subtree_sizes()
+        assert sizes == {0: 5, 1: 3, 2: 1, 3: 1, 4: 1}
+
+    def test_heavy_children(self):
+        t = RootedTree(0, {0: None, 1: 0, 2: 0, 3: 1, 4: 1})
+        heavy = t.heavy_children()
+        assert heavy[0] == 1  # subtree of 1 has 3 vertices vs 1
+        assert heavy[1] == 3  # tie between 3 and 4 -> smaller name
+        assert heavy[3] is None
+
+
+class TestDFSIntervals:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 40))
+    def test_interval_containment_characterizes_ancestry(self, seed, n):
+        t = RootedTree(0, random_parent_map(n, seed))
+        entry, exit_ = t.dfs_intervals()
+        for v in t.vertices():
+            ancestors = set(t.path_to_root(v))
+            for x in t.vertices():
+                inside = entry[x] <= entry[v] <= exit_[x]
+                assert inside == (x in ancestors)
+
+    def test_entry_times_are_permutation(self):
+        t = RootedTree(0, random_parent_map(12, 3))
+        entry, _ = t.dfs_intervals()
+        assert sorted(entry.values()) == list(range(12))
+
+
+def test_tree_distance():
+    t = RootedTree(0, {0: None, 1: 0, 2: 1})
+    dist = tree_distance(t, lambda a, b: 10, 2, 0)
+    assert dist == 20
