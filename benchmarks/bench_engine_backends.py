@@ -1,0 +1,235 @@
+"""[E7] Engine backend shoot-out: ``reference`` vs ``fast`` wall-clock.
+
+Runs the same CONGEST programs (BFS flood, gossip broadcast) through
+both registered execution backends on workloads at the largest
+``bench_rounds_scaling`` size and emits a JSON record so future PRs can
+track the perf trajectory.  Reports are asserted identical on every
+case — the speedup is never allowed to change semantics.
+
+Two regimes, mirroring the engine design notes
+(``src/repro/congest/README.md``):
+
+* **engine-bound** (high diameter, sparse traffic — path/grid BFS):
+  the reference engine's O(m)-per-round queue scans dominate and the
+  flat-array frontier engine wins big (>= 5x at n=144, up to ~30x at
+  n=400).
+* **program-bound** (low diameter, message-heavy — the scaling random
+  graph): both backends spend their time inside the node programs and
+  the gap narrows; the record keeps both numbers honest.
+
+Usage::
+
+    python benchmarks/bench_engine_backends.py            # JSON to
+    python benchmarks/bench_engine_backends.py --n 64     # stdout +
+        --repeats 2 --out results/engine_backends.json    # file
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.congest import Message, Network, NodeProgram, make_engine
+from repro.core import construct_scheme
+from repro.graphs import grid, path, random_connected
+
+#: Engine-bound workloads must beat the oracle by at least this factor
+#: at the default size (measured headroom: 8-14x).
+REQUIRED_SPEEDUP = 5.0
+
+REPORT_FIELDS = ("rounds", "delivered_messages", "delivered_words",
+                 "max_link_queue_words", "quiescent")
+
+
+class _BFSFlood(NodeProgram):
+    def __init__(self, root):
+        self._root = root
+
+    def initialize(self, ctx):
+        ctx.state["depth"] = 0 if ctx.node == self._root else None
+        if ctx.node == self._root:
+            return [(v, Message("bfs", (0,))) for v in ctx.neighbors]
+        return []
+
+    def on_round(self, ctx, inbox):
+        improved = False
+        for _sender, message in inbox:
+            depth = message.payload[0] + 1
+            if ctx.state["depth"] is None or depth < ctx.state["depth"]:
+                ctx.state["depth"] = depth
+                improved = True
+        if not improved:
+            return []
+        return [(v, Message("bfs", (ctx.state["depth"],)))
+                for v in ctx.neighbors]
+
+
+class _Gossip(NodeProgram):
+    def __init__(self, tokens):
+        self._tokens = tokens
+
+    def initialize(self, ctx):
+        ctx.state["seen"] = set()
+        out = []
+        for item in self._tokens.get(ctx.node, []):
+            ctx.state["seen"].add(item)
+            for v in ctx.neighbors:
+                out.append((v, Message("tok", item)))
+        return out
+
+    def on_round(self, ctx, inbox):
+        out = []
+        for sender, message in inbox:
+            item = message.payload
+            if item in ctx.state["seen"]:
+                continue
+            ctx.state["seen"].add(item)
+            for v in ctx.neighbors:
+                if v != sender:
+                    out.append((v, Message("tok", item)))
+        return out
+
+
+def _workloads(n):
+    """name -> (graph, program factory, regime)."""
+    side = max(2, round(n ** 0.5))
+    tokens = {0: [(i,) for i in range(max(4, n // 12))]}
+    return {
+        "scaling-random-bfs": (
+            random_connected(n, 6.0 / n, seed=2000 + n),
+            lambda: _BFSFlood(0), "program-bound"),
+        "grid-bfs": (grid(side, side, seed=1),
+                     lambda: _BFSFlood(0), "engine-bound"),
+        "path-bfs": (path(n, seed=1),
+                     lambda: _BFSFlood(0), "engine-bound"),
+        "path-gossip": (path(n, seed=1),
+                        lambda: _Gossip(tokens), "engine-bound"),
+    }
+
+
+def _time_backend(graph, make_program, backend, repeats):
+    network = Network(graph)
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        engine = make_engine(network, 2, backend)
+        start = time.perf_counter()
+        report = engine.run(make_program())
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def compare_backends(n=144, repeats=3, include_pipeline=True):
+    """Run every workload through both backends; return a JSON record."""
+    workloads = []
+    for name, (graph, factory, regime) in _workloads(n).items():
+        t_ref, r_ref = _time_backend(graph, factory, "reference",
+                                     repeats)
+        t_fast, r_fast = _time_backend(graph, factory, "fast", repeats)
+        for field in REPORT_FIELDS:
+            assert getattr(r_ref, field) == getattr(r_fast, field), (
+                name, field)
+        workloads.append({
+            "name": name,
+            "regime": regime,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "rounds": r_ref.rounds,
+            "delivered_words": r_ref.delivered_words,
+            "reference_seconds": round(t_ref, 6),
+            "fast_seconds": round(t_fast, 6),
+            "speedup": round(t_ref / t_fast, 3),
+        })
+    record = {
+        "benchmark": "engine_backends",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "n": n,
+        "repeats": repeats,
+        "workloads": workloads,
+    }
+    if include_pipeline:
+        graph = random_connected(n, 6.0 / n, seed=2000 + n)
+        t_ref = t_fast = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            ref = construct_scheme(graph, k=3, seed=1,
+                                   detection_mode="exact",
+                                   engine="reference")
+            t_ref = min(t_ref, time.perf_counter() - start)
+            start = time.perf_counter()
+            fast = construct_scheme(graph, k=3, seed=1,
+                                    detection_mode="exact",
+                                    engine="fast")
+            t_fast = min(t_fast, time.perf_counter() - start)
+        assert ref.rounds == fast.rounds
+        record["construct_scheme"] = {
+            "rounds": ref.rounds,
+            "reference_seconds": round(t_ref, 6),
+            "fast_seconds": round(t_fast, 6),
+            "speedup": round(t_ref / t_fast, 3),
+        }
+    return record
+
+
+def _print_record(record):
+    for w in record["workloads"]:
+        print(f"[E7] {w['name']:<20} ({w['regime']:<13}) n={w['n']:<5} "
+              f"ref={w['reference_seconds'] * 1000:8.2f}ms "
+              f"fast={w['fast_seconds'] * 1000:8.2f}ms "
+              f"speedup={w['speedup']:6.2f}x")
+    pipeline = record.get("construct_scheme")
+    if pipeline:
+        print(f"[E7] construct_scheme(k=3)           n={record['n']:<5} "
+              f"ref={pipeline['reference_seconds'] * 1000:8.2f}ms "
+              f"fast={pipeline['fast_seconds'] * 1000:8.2f}ms "
+              f"speedup={pipeline['speedup']:6.2f}x")
+
+
+@pytest.mark.artifact("E7")
+def bench_engine_backends(benchmark, scaling_ns):
+    """Backends agree bit-for-bit; fast wins >=5x where engine-bound."""
+    n = scaling_ns[-1]
+    record = benchmark.pedantic(
+        lambda: compare_backends(n=n, repeats=3), rounds=1, iterations=1)
+    print()
+    _print_record(record)
+    engine_bound = [w for w in record["workloads"]
+                    if w["regime"] == "engine-bound"]
+    assert engine_bound
+    best = max(w["speedup"] for w in engine_bound)
+    assert best >= REQUIRED_SPEEDUP, (
+        f"engine-bound speedup {best:.2f}x below {REQUIRED_SPEEDUP}x")
+    # program-bound cases share their cost with the node programs, so
+    # only guard against a gross regression (timing jitter tolerant).
+    assert all(w["speedup"] >= 0.5 for w in record["workloads"])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n", type=int, default=144,
+                        help="workload size (bench_rounds_scaling "
+                             "largest = 144)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--no-pipeline", action="store_true",
+                        help="skip the construct_scheme comparison")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "results"
+                        / "engine_backends.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+    record = compare_backends(n=args.n, repeats=args.repeats,
+                              include_pipeline=not args.no_pipeline)
+    _print_record(record)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[E7] record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,12 +21,17 @@ from repro.core import construct_scheme
 K = 3
 PAPER_EXPONENT = 0.5 + 1.0 / (2 * K)  # odd k: 1/2 + 1/(2k)
 
+#: CONGEST execution backend; round counts are backend-independent
+#: (see benchmarks/bench_engine_backends.py for the wall-clock diff).
+ENGINE = "fast"
+
 
 def _measure_rounds(graphs, k):
     rounds = {}
     for n, graph in sorted(graphs.items()):
         report = construct_scheme(graph, k=k, seed=n,
-                                  detection_mode="exact")
+                                  detection_mode="exact",
+                                  engine=ENGINE)
         rounds[n] = report.rounds
     return rounds
 
@@ -74,7 +79,8 @@ def bench_rounds_single_build(benchmark, scaling_graphs, scaling_ns):
     graph = scaling_graphs[n]
     report = benchmark.pedantic(
         lambda: construct_scheme(graph, k=K, seed=1,
-                                 detection_mode="exact"),
+                                 detection_mode="exact",
+                                 engine=ENGINE),
         rounds=1, iterations=1)
     assert report.rounds > 0
     print(f"\n[E1] n={n} k={K}: {report.rounds} rounds, "

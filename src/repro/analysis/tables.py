@@ -74,8 +74,13 @@ class Table1Result:
 def generate_table1(graph: WeightedGraph, k: int, seed: int = 0,
                     sample_pairs: Optional[int] = 400,
                     graph_name: str = "workload",
-                    detection_mode: str = "rounded") -> Table1Result:
-    """Build all schemes on ``graph`` and regenerate Table 1."""
+                    detection_mode: str = "rounded",
+                    engine: Optional[str] = None) -> Table1Result:
+    """Build all schemes on ``graph`` and regenerate Table 1.
+
+    ``engine`` selects the CONGEST backend for "this paper"'s measured
+    construction (the baselines use analytic round models).
+    """
     d = hop_diameter(graph)
     s = shortest_path_diameter(graph)
     scale = GraphScale(n=graph.num_vertices, m=graph.num_edges,
@@ -117,7 +122,8 @@ def generate_table1(graph: WeightedGraph, k: int, seed: int = 0,
         paper_stretch=TABLE1_STRETCH["LP15"](k)))
 
     ours = construct_scheme(graph, k=k, seed=seed,
-                            detection_mode=detection_mode)
+                            detection_mode=detection_mode,
+                            engine=engine)
     rows.append(Table1Row(
         scheme="this paper",
         rounds=float(ours.rounds), rounds_kind="measured",

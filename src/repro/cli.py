@@ -27,6 +27,7 @@ from .analysis import (
     generate_table1,
     model_table,
 )
+from .congest import DEFAULT_ENGINE, available_engines
 from .core import build_distance_estimation, construct_scheme
 from .graphs import (
     WeightedGraph,
@@ -69,6 +70,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--detection-mode",
                         choices=["rounded", "exact"], default="exact",
                         help="Theorem-1 mode (round charges identical)")
+    parser.add_argument("--engine",
+                        choices=sorted(available_engines()),
+                        default=DEFAULT_ENGINE,
+                        help="CONGEST execution backend "
+                             "(both produce identical reports)")
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -76,7 +82,8 @@ def cmd_build(args: argparse.Namespace) -> int:
     print(f"workload={args.graph} n={graph.num_vertices} "
           f"m={graph.num_edges}")
     report = construct_scheme(graph, k=args.k, seed=args.seed,
-                              detection_mode=args.detection_mode)
+                              detection_mode=args.detection_mode,
+                              engine=args.engine)
     print(report.summary())
     if args.phases:
         print("\nper-phase round breakdown:")
@@ -92,7 +99,8 @@ def cmd_build(args: argparse.Namespace) -> int:
 def cmd_route(args: argparse.Namespace) -> int:
     graph = _make_graph(args)
     report = construct_scheme(graph, k=args.k, seed=args.seed,
-                              detection_mode=args.detection_mode)
+                              detection_mode=args.detection_mode,
+                              engine=args.engine)
     source = args.source % graph.num_vertices
     target = args.target % graph.num_vertices
     result = report.scheme.route(source, target)
@@ -112,7 +120,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
     result = generate_table1(graph, k=args.k, seed=args.seed,
                              sample_pairs=args.pairs,
                              graph_name=args.graph,
-                             detection_mode=args.detection_mode)
+                             detection_mode=args.detection_mode,
+                             engine=args.engine)
     print(result.format())
     return 0
 
@@ -120,7 +129,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
 def cmd_estimate(args: argparse.Namespace) -> int:
     graph = _make_graph(args)
     est = build_distance_estimation(graph, k=args.k, seed=args.seed,
-                                    detection_mode=args.detection_mode)
+                                    detection_mode=args.detection_mode,
+                                    engine=args.engine)
     print(f"sketches built: max {est.max_sketch_words()} words, "
           f"avg {est.average_sketch_words():.1f}")
     rng = random.Random(args.seed)

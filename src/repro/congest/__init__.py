@@ -7,6 +7,15 @@ from .metrics import CostLedger, PhaseCost, congestion_rounds, pipelined_rounds
 from .network import Network
 from .node import NodeContext, NodeProgram, make_contexts
 from .simulator import RunReport, Simulator
+from .engine import (
+    DEFAULT_ENGINE,
+    Engine,
+    available_engines,
+    make_engine,
+    register_engine,
+    resolve_engine_name,
+)
+from .fast_engine import FastSimulator
 from .bfs import BFSTree, build_bfs_tree
 from .broadcast import (
     broadcast_all,
@@ -37,6 +46,13 @@ __all__ = [
     "make_contexts",
     "RunReport",
     "Simulator",
+    "DEFAULT_ENGINE",
+    "Engine",
+    "FastSimulator",
+    "available_engines",
+    "make_engine",
+    "register_engine",
+    "resolve_engine_name",
     "BFSTree",
     "build_bfs_tree",
     "broadcast_all",

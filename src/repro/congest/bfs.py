@@ -11,10 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .engine import make_engine
 from .messages import Message
 from .network import Network
 from .node import NodeContext, NodeProgram, Outgoing
-from .simulator import Simulator
 
 
 @dataclass
@@ -85,9 +85,10 @@ class _BFSProgram(NodeProgram):
 
 
 def build_bfs_tree(network: Network, root: int = 0,
-                   capacity_words: int = 2) -> BFSTree:
-    """Run the BFS flood on the simulator and extract the tree."""
-    simulator = Simulator(network, capacity_words=capacity_words)
+                   capacity_words: int = 2,
+                   engine: Optional[str] = None) -> BFSTree:
+    """Run the BFS flood on the selected engine and extract the tree."""
+    simulator = make_engine(network, capacity_words, engine)
     report = simulator.run(_BFSProgram(root))
     n = network.num_nodes
     parent: List[Optional[int]] = [None] * n

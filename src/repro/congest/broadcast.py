@@ -18,14 +18,14 @@ charge dominates/matches it on small inputs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .bfs import BFSTree
+from .engine import make_engine
 from .messages import Message
 from .metrics import pipelined_rounds
 from .network import Network
 from .node import NodeContext, NodeProgram, Outgoing
-from .simulator import Simulator
 
 
 def broadcast_all(tree: BFSTree, per_node_words: Sequence[int],
@@ -89,9 +89,11 @@ class _GossipProgram(NodeProgram):
 
 def simulate_flood_rounds(network: Network,
                           initial: Dict[int, List[Tuple]],
-                          capacity_words: int = 2) -> Tuple[int, List[set]]:
+                          capacity_words: int = 2,
+                          engine: Optional[str] = None
+                          ) -> Tuple[int, List[set]]:
     """Actually flood ``initial`` messages; return (rounds, per-node sets)."""
-    simulator = Simulator(network, capacity_words=capacity_words)
+    simulator = make_engine(network, capacity_words, engine)
     report = simulator.run(_GossipProgram(initial))
     seen = [report.state_of(u)["seen"] for u in range(network.num_nodes)]
     return report.rounds, seen

@@ -1,0 +1,95 @@
+"""Engine protocol and backend registry for the CONGEST round core.
+
+The simulator exists in two interchangeable implementations:
+
+* ``reference`` — :class:`~repro.congest.simulator.Simulator`, the
+  original dict-of-deques engine.  Simple, obviously correct, O(m) per
+  round.  Kept verbatim as the semantic oracle.
+* ``fast`` — :class:`~repro.congest.fast_engine.FastSimulator`, a
+  batched flat-array engine (integer-indexed links, incremental queue
+  accounting, active-link frontier).  The default.
+
+Both produce *bit-identical* :class:`~repro.congest.simulator.RunReport`
+fields for any program — enforced by
+``tests/congest/test_engine_equivalence.py``.  New backends register via
+:func:`register_engine`; callers obtain one with :func:`make_engine`,
+which resolves, in order: the explicit ``engine`` argument, the
+network's preferred backend (``Network(graph, engine=...)``), then
+:data:`DEFAULT_ENGINE`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from ..exceptions import SimulationError
+from .messages import DEFAULT_CAPACITY_WORDS
+from .network import Network
+from .node import NodeProgram
+from .simulator import RunReport, Simulator
+
+
+class Engine(Protocol):
+    """What every CONGEST execution backend must provide."""
+
+    @property
+    def network(self) -> Network: ...
+
+    @property
+    def capacity_words(self) -> int: ...
+
+    def run(self, program: NodeProgram,
+            max_rounds: int = 1_000_000) -> RunReport: ...
+
+
+#: name -> factory(network, capacity_words) building an engine.
+EngineFactory = Callable[[Network, int], Engine]
+
+#: The backend used when neither the caller nor the network picks one.
+DEFAULT_ENGINE = "fast"
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+
+
+def register_engine(name: str, factory: EngineFactory) -> None:
+    """Register (or replace) a backend under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_engine_name(network: Network,
+                        engine: Optional[str] = None) -> str:
+    """Resolve which backend to use for ``network``."""
+    name = engine or network.engine or DEFAULT_ENGINE
+    if name not in _REGISTRY:
+        raise SimulationError(
+            f"unknown engine backend {name!r}; "
+            f"available: {', '.join(available_engines())}")
+    return name
+
+
+def make_engine(network: Network,
+                capacity_words: int = DEFAULT_CAPACITY_WORDS,
+                engine: Optional[str] = None) -> Engine:
+    """Build the selected execution backend for ``network``.
+
+    ``engine`` overrides the network's preference; ``None`` falls back
+    to ``network.engine`` and then :data:`DEFAULT_ENGINE`.
+    """
+    return _REGISTRY[resolve_engine_name(network, engine)](
+        network, capacity_words)
+
+
+def _make_reference(network: Network, capacity_words: int) -> Engine:
+    return Simulator(network, capacity_words=capacity_words)
+
+
+register_engine("reference", _make_reference)
+
+# The fast backend registers itself on import; importing it here keeps
+# the registry complete whenever anything touches the engine layer.
+from . import fast_engine as _fast_engine  # noqa: E402,F401  (registration)

@@ -19,7 +19,7 @@ from ..exceptions import CapacityError
 DEFAULT_CAPACITY_WORDS = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One CONGEST message.
 

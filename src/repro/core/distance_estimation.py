@@ -142,13 +142,15 @@ def sketches_from_clusters(clusters: ApproxClusterSystem
 def build_distance_estimation(graph: WeightedGraph, k: int, seed: int = 0,
                               eps_override: float = 0.0,
                               detection_mode: str = "rounded",
-                              capacity_words: int = 2
+                              capacity_words: int = 2,
+                              engine: Optional[str] = None
                               ) -> DistanceEstimation:
     """Build the Theorem-6 sketching scheme end to end."""
     clusters = build_approx_clusters(graph, k, seed=seed,
                                      eps_override=eps_override,
                                      detection_mode=detection_mode,
-                                     capacity_words=capacity_words)
+                                     capacity_words=capacity_words,
+                                     engine=engine)
     ledger = CostLedger()
     ledger.merge(clusters.ledger)
     sketches = sketches_from_clusters(clusters)

@@ -74,23 +74,31 @@ def construct_scheme(graph: WeightedGraph, k: int, seed: int = 0,
                      eps_override: float = 0.0,
                      detection_mode: str = "rounded",
                      capacity_words: int = 2,
-                     use_tz_trick: bool = True) -> ConstructionReport:
-    """Run the full distributed construction and measure it."""
+                     use_tz_trick: bool = True,
+                     engine: Optional[str] = None) -> ConstructionReport:
+    """Run the full distributed construction and measure it.
+
+    ``engine`` picks the CONGEST execution backend for every simulated
+    phase (see :mod:`repro.congest.engine`); ``None`` means the package
+    default (``fast``).
+    """
     clusters = build_approx_clusters(graph, k, seed=seed,
                                      eps_override=eps_override,
                                      detection_mode=detection_mode,
-                                     capacity_words=capacity_words)
+                                     capacity_words=capacity_words,
+                                     engine=engine)
     ledger = CostLedger()
     ledger.merge(clusters.ledger)
 
-    network = Network(graph)
+    network = Network(graph, engine=engine)
     trees = {center: cluster.tree()
              for center, cluster in clusters.clusters.items()}
     forest = build_forest_routing(trees, graph.num_vertices,
                                   random.Random(seed + 1),
                                   bfs_tree=clusters.bfs_tree,
                                   port_of=network.port_of,
-                                  capacity_words=capacity_words)
+                                  capacity_words=capacity_words,
+                                  engine=engine)
     ledger.merge(forest.ledger)
 
     tables, labels = _assemble_tables_and_labels(clusters, forest)
@@ -123,13 +131,21 @@ def construct_scheme(graph: WeightedGraph, k: int, seed: int = 0,
 
 def sample_pairs(num_vertices: int, count: int,
                  rng: random.Random) -> List[Tuple[int, int]]:
-    """Distinct-endpoint evaluation pairs (shared by tests/benchmarks)."""
+    """Distinct-endpoint evaluation pairs (shared by tests/benchmarks).
+
+    Samples ordered pairs ``(u, v)`` with ``u != v`` *without
+    replacement*: the result is duplicate-free, deterministic for a
+    given ``rng`` state, and has exactly ``min(count, n*(n-1))``
+    entries — small graphs can never under-fill silently the way the
+    old rejection-sampling loop could.
+    """
+    if num_vertices < 2 or count <= 0:
+        return []
+    total = num_vertices * (num_vertices - 1)
+    chosen = (rng.sample(range(total), count) if count < total
+              else list(range(total)))
     pairs = []
-    attempts = 0
-    while len(pairs) < count and attempts < 50 * count:
-        attempts += 1
-        u = rng.randrange(num_vertices)
-        v = rng.randrange(num_vertices)
-        if u != v:
-            pairs.append((u, v))
+    for index in chosen:
+        u, r = divmod(index, num_vertices - 1)
+        pairs.append((u, r + (1 if r >= u else 0)))
     return pairs

@@ -326,9 +326,15 @@ def build_forest_routing(trees: Dict[int, RootedTree],
                          bfs_tree: Optional[BFSTree] = None,
                          port_of: Optional[PortFunction] = None,
                          capacity_words: int = 2,
-                         gamma: Optional[float] = None
+                         gamma: Optional[float] = None,
+                         engine: Optional[str] = None
                          ) -> ForestRoutingReport:
     """Build the scheme for every tree with one shared splitter sample.
+
+    ``engine`` names the CONGEST backend this phase belongs to; the
+    forest charges are analytic (Remark 3) so both backends yield the
+    same ledger, but the parameter keeps backend selection uniform
+    across the pipeline for callers and future literal executions.
 
     Implements Remark 3's accounting: with overlap ``s`` (trees per
     vertex) and ``γ = sqrt(n/s)`` splitters, random start times stagger

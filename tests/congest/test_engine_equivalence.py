@@ -1,0 +1,269 @@
+"""Differential harness: the ``fast`` flat-array engine against the
+``reference`` dict-of-deques oracle.
+
+Every program × graph × capacity case is executed on both registered
+backends and the resulting :class:`RunReport`s must be *bit-identical*:
+rounds, delivered messages/words, the max per-link queue statistic,
+quiescence, and every node's final state dictionary.  This is the
+contract that lets the rest of the codebase default to ``fast`` while
+keeping the original simulator as the semantic oracle.
+"""
+
+import pytest
+
+from repro.congest import (
+    DEFAULT_ENGINE,
+    FastSimulator,
+    Message,
+    Network,
+    NodeProgram,
+    Simulator,
+    available_engines,
+    build_bfs_tree,
+    make_engine,
+    resolve_engine_name,
+    simulate_flood_rounds,
+)
+from repro.exceptions import SimulationError
+from repro.graphs import (
+    grid,
+    path,
+    random_connected,
+    ring_of_cliques,
+)
+
+# ----------------------------------------------------------------------
+# The three program families the construction relies on
+# ----------------------------------------------------------------------
+
+
+class BFSProgram(NodeProgram):
+    """Hop-count flood: each node adopts the smallest depth it hears."""
+
+    def __init__(self, root):
+        self._root = root
+
+    def initialize(self, ctx):
+        ctx.state["depth"] = 0 if ctx.node == self._root else None
+        ctx.state["parent"] = None
+        if ctx.node == self._root:
+            return [(v, Message("bfs", (0,))) for v in ctx.neighbors]
+        return []
+
+    def on_round(self, ctx, inbox):
+        improved = False
+        for sender, message in inbox:
+            depth = message.payload[0] + 1
+            if ctx.state["depth"] is None or depth < ctx.state["depth"]:
+                ctx.state["depth"] = depth
+                ctx.state["parent"] = sender
+                improved = True
+        if not improved:
+            return []
+        return [(v, Message("bfs", (ctx.state["depth"],)))
+                for v in ctx.neighbors if v != ctx.state["parent"]]
+
+
+class BroadcastProgram(NodeProgram):
+    """Gossip flood: every node forwards each distinct token once.
+
+    Inbox-order sensitive (first copy wins the ``via`` record), so it
+    detects any divergence in delivery ordering between the engines.
+    """
+
+    def __init__(self, tokens):
+        self._tokens = tokens  # node -> list of payload tuples
+
+    def initialize(self, ctx):
+        ctx.state["seen"] = {}
+        out = []
+        for item in self._tokens.get(ctx.node, []):
+            ctx.state["seen"][item] = None  # origin: no via
+            for v in ctx.neighbors:
+                out.append((v, Message("tok", item)))
+        return out
+
+    def on_round(self, ctx, inbox):
+        out = []
+        for sender, message in inbox:
+            item = message.payload
+            if item in ctx.state["seen"]:
+                continue
+            ctx.state["seen"][item] = sender
+            for v in ctx.neighbors:
+                if v != sender:
+                    out.append((v, Message("tok", item)))
+        return out
+
+
+class BellmanFordProgram(NodeProgram):
+    """Multi-root weighted SSSP flood keeping the nearest root."""
+
+    def __init__(self, roots):
+        self._roots = set(roots)
+
+    def initialize(self, ctx):
+        ctx.state["dist"] = 0 if ctx.node in self._roots else None
+        ctx.state["root"] = ctx.node if ctx.node in self._roots else None
+        ctx.state["parent"] = None
+        if ctx.node in self._roots:
+            return [(v, Message("bf", (0, ctx.node)))
+                    for v in ctx.neighbors]
+        return []
+
+    def on_round(self, ctx, inbox):
+        improved = False
+        for sender, message in inbox:
+            d, root = message.payload
+            nd = d + ctx.weight_to(sender)
+            if ctx.state["dist"] is None or nd < ctx.state["dist"]:
+                ctx.state["dist"] = nd
+                ctx.state["root"] = root
+                ctx.state["parent"] = sender
+                improved = True
+        if not improved:
+            return []
+        return [(v, Message("bf", (ctx.state["dist"],
+                                   ctx.state["root"])))
+                for v in ctx.neighbors]
+
+
+# ----------------------------------------------------------------------
+# ~20 seeded graphs spanning the workload families
+# ----------------------------------------------------------------------
+
+def _graph_cases():
+    cases = []
+    for seed in range(12):
+        n = 16 + 3 * seed
+        cases.append((f"random-{seed}",
+                      random_connected(n, 4.5 / n, seed=seed)))
+    for seed in (100, 101, 102):
+        cases.append((f"dense-{seed}",
+                      random_connected(24, 0.3, seed=seed)))
+    cases.append(("grid", grid(5, 5, seed=7)))
+    cases.append(("grid-rect", grid(3, 8, seed=8)))
+    cases.append(("path", path(18, seed=9)))
+    cases.append(("cliques", ring_of_cliques(4, 5, seed=10)))
+    return cases
+
+
+GRAPHS = _graph_cases()
+GRAPH_IDS = [name for name, _ in GRAPHS]
+
+REPORT_FIELDS = ("rounds", "delivered_messages", "delivered_words",
+                 "max_link_queue_words", "quiescent")
+
+
+def _assert_identical(ref, fast):
+    for field in REPORT_FIELDS:
+        assert getattr(ref, field) == getattr(fast, field), field
+    assert len(ref.contexts) == len(fast.contexts)
+    for a, b in zip(ref.contexts, fast.contexts):
+        assert a.node == b.node
+        assert a.state == b.state
+
+
+def _run_both(graph, make_program, capacity):
+    network = Network(graph)
+    ref = make_engine(network, capacity, "reference").run(make_program())
+    fast = make_engine(network, capacity, "fast").run(make_program())
+    _assert_identical(ref, fast)
+    return ref
+
+
+class TestDifferentialEquivalence:
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=GRAPH_IDS)
+    def test_bfs(self, name, graph):
+        report = _run_both(graph, lambda: BFSProgram(0), capacity=2)
+        assert report.quiescent and report.rounds > 0
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=GRAPH_IDS)
+    def test_broadcast(self, name, graph):
+        n = graph.num_vertices
+        tokens = {v: [(v, "tok")] for v in range(0, n, 4)}
+        report = _run_both(graph, lambda: BroadcastProgram(tokens),
+                           capacity=2)
+        assert report.delivered_messages > 0
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=GRAPH_IDS)
+    def test_bellman_ford(self, name, graph):
+        n = graph.num_vertices
+        roots = [0, n // 2, n - 1]
+        report = _run_both(graph, lambda: BellmanFordProgram(roots),
+                           capacity=2)
+        assert report.quiescent
+
+    @pytest.mark.parametrize("capacity", [2, 3, 5])
+    def test_capacity_granularities(self, capacity):
+        """Partial drains (backlog > capacity) must match exactly."""
+        graph = random_connected(30, 0.2, seed=42)
+        tokens = {v: [(v, i) for i in range(3)] for v in range(0, 30, 2)}
+        _run_both(graph, lambda: BroadcastProgram(tokens), capacity)
+        _run_both(graph, lambda: BellmanFordProgram([0, 7]), capacity)
+
+    def test_single_word_capacity(self):
+        """capacity=1 forces one message per link per round."""
+        graph = random_connected(24, 0.2, seed=43)
+        tokens = {v: [(v,)] for v in range(0, 24, 3)}  # 1-word tokens
+        _run_both(graph, lambda: BroadcastProgram(tokens), capacity=1)
+        _run_both(graph, lambda: BFSProgram(0), capacity=1)
+
+    def test_primitives_agree_across_backends(self):
+        graph = random_connected(40, 0.12, seed=3)
+        network = Network(graph)
+        t_ref = build_bfs_tree(network, root=2, engine="reference")
+        t_fast = build_bfs_tree(network, root=2, engine="fast")
+        assert t_ref.parent == t_fast.parent
+        assert t_ref.depth == t_fast.depth
+        assert t_ref.rounds == t_fast.rounds
+        initial = {v: [(v,)] for v in range(0, 40, 5)}
+        r_ref = simulate_flood_rounds(network, initial,
+                                      engine="reference")
+        r_fast = simulate_flood_rounds(network, initial, engine="fast")
+        assert r_ref == r_fast
+
+
+class TestBackendSelection:
+
+    def test_registry_contents(self):
+        assert set(available_engines()) >= {"reference", "fast"}
+        assert DEFAULT_ENGINE == "fast"
+
+    def test_default_is_fast(self):
+        network = Network(path(4, seed=0))
+        assert isinstance(make_engine(network), FastSimulator)
+
+    def test_network_preference_respected(self):
+        network = Network(path(4, seed=0), engine="reference")
+        assert isinstance(make_engine(network), Simulator)
+        assert resolve_engine_name(network) == "reference"
+
+    def test_explicit_overrides_network_preference(self):
+        network = Network(path(4, seed=0), engine="reference")
+        assert isinstance(make_engine(network, engine="fast"),
+                          FastSimulator)
+
+    def test_unknown_backend_rejected(self):
+        network = Network(path(4, seed=0))
+        with pytest.raises(SimulationError):
+            make_engine(network, engine="warp")
+
+    def test_fast_engine_guards_capacity(self):
+        with pytest.raises(SimulationError):
+            FastSimulator(Network(path(4, seed=0)), capacity_words=0)
+
+    def test_fast_engine_rejects_non_neighbor(self):
+        class Rogue(NodeProgram):
+            def initialize(self, ctx):
+                if ctx.node == 0:
+                    return [(3, Message("x", (1,)))]
+                return []
+
+            def on_round(self, ctx, inbox):
+                return []
+
+        network = Network(path(5, seed=0))  # 0 and 3 not adjacent
+        with pytest.raises(SimulationError):
+            FastSimulator(network).run(Rogue())

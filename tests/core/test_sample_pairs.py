@@ -1,0 +1,56 @@
+"""Regression tests for :func:`repro.core.sample_pairs`.
+
+The original implementation rejection-sampled with a ``50 * count``
+attempt cap: it could return duplicate pairs and, on tiny vertex sets,
+silently under-fill.  The fixed version samples ordered pairs without
+replacement, so it is duplicate-free, exactly sized, and deterministic
+for a given rng seed.
+"""
+
+import random
+
+from repro.core import sample_pairs
+
+
+def test_no_duplicates_small_n():
+    rng = random.Random(0)
+    pairs = sample_pairs(4, 12, rng)   # 12 == all ordered pairs of 4
+    assert len(pairs) == 12
+    assert len(set(pairs)) == 12
+
+
+def test_exact_fill_never_short():
+    for n in range(2, 10):
+        total = n * (n - 1)
+        for count in (1, total // 2, total - 1, total):
+            rng = random.Random(n * 1000 + count)
+            pairs = sample_pairs(n, count, rng)
+            assert len(pairs) == count, (n, count)
+            assert len(set(pairs)) == count, (n, count)
+
+
+def test_count_beyond_population_caps_at_all_pairs():
+    rng = random.Random(1)
+    pairs = sample_pairs(3, 100, rng)
+    assert sorted(pairs) == [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0),
+                             (2, 1)]
+
+
+def test_endpoints_distinct_and_in_range():
+    rng = random.Random(2)
+    for u, v in sample_pairs(50, 500, rng):
+        assert u != v
+        assert 0 <= u < 50 and 0 <= v < 50
+
+
+def test_deterministic_given_seed():
+    a = sample_pairs(20, 50, random.Random(99))
+    b = sample_pairs(20, 50, random.Random(99))
+    assert a == b
+
+
+def test_degenerate_inputs():
+    rng = random.Random(3)
+    assert sample_pairs(1, 5, rng) == []
+    assert sample_pairs(0, 5, rng) == []
+    assert sample_pairs(10, 0, rng) == []
