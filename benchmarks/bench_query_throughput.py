@@ -1,0 +1,182 @@
+"""[E8] Serve-path throughput: live per-call routing vs the compiled
+artifact, single calls vs the batch API.
+
+The build/serve split exists so query traffic never pays construction
+costs; this benchmark keeps the serve half honest.  One scheme is built
+and compiled, then the same pair sample is answered three ways:
+
+* **live-single** — ``RoutingScheme.route(u, v)`` per pair: the
+  pre-split serve path (dict walks plus the Dijkstra verification
+  oracle every measured route drags along);
+* **compiled-single** — ``CompiledScheme.route(u, v)`` per pair: flat
+  arrays, no graph, but per-call target-label preparation;
+* **batch** — ``CompiledScheme.route_many(pairs)``: target-grouped,
+  label prep amortized across the batch.
+
+Correctness is asserted in-run (batch results must equal the compiled
+single calls, and weights must match the live scheme) so the speedup
+can never drift from the semantics.  The same three-way comparison runs
+for distance estimation.  Emits a JSON record (routes/sec per mode)
+into ``benchmarks/results/`` for the perf trajectory.
+
+Usage::
+
+    python benchmarks/bench_query_throughput.py
+    python benchmarks/bench_query_throughput.py --n 96 --pairs 4000 \
+        --out results/query_throughput.json
+"""
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import sample_pairs
+from repro.pipeline import SchemePipeline
+
+#: The batch API must beat the live per-call loop by at least this
+#: factor.  Measured headroom is ~1.4-1.6x for routing (both paths are
+#: interpreted Python and routes average only a handful of hops; the
+#: live loop amortizes its Dijkstra oracle over >= n pairs per source)
+#: and ~3x for estimation; the gate is set below the routing headroom
+#: so CI timing jitter cannot flake it.
+REQUIRED_BATCH_SPEEDUP = 1.1
+
+#: Estimation has far more headroom (no path walk, just Algorithm 2
+#: over two flat sketch rows; measured ~3x); gated lower for jitter.
+REQUIRED_ESTIMATION_SPEEDUP = 1.5
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_query_throughput(n=128, k=3, pairs=10_000, seed=1,
+                             repeats=3):
+    """Build once, then time the three serve modes; returns the record."""
+    pipeline = (SchemePipeline().workload("random", n).params(k)
+                .seed(seed))
+    built = pipeline.build()
+    scheme = built.scheme
+    actual_n = scheme.graph.num_vertices
+    compiled = pipeline.compile()
+    estimation = built.estimation
+    compiled_est = pipeline.compile_estimation()
+    query_pairs = sample_pairs(actual_n, pairs, random.Random(seed))
+
+    t_live, live = _best_of(repeats, lambda: [
+        scheme.route(u, v) for u, v in query_pairs])
+    t_single, single = _best_of(repeats, lambda: [
+        compiled.route(u, v) for u, v in query_pairs])
+    t_batch, batch = _best_of(
+        repeats, lambda: compiled.route_many(query_pairs))
+    assert batch == single
+    assert all(a.weight == b.weight and a.path == b.path
+               for a, b in zip(live, batch))
+
+    te_live, e_live = _best_of(repeats, lambda: [
+        estimation.query(u, v).estimate for u, v in query_pairs])
+    te_batch, e_batch = _best_of(
+        repeats, lambda: compiled_est.estimate_many(query_pairs))
+    assert e_live == e_batch
+
+    count = len(query_pairs)
+    record = {
+        "benchmark": "query_throughput",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "requested_n": n,
+        "num_vertices": actual_n,
+        "k": k,
+        "pairs": count,
+        "repeats": repeats,
+        "routing": {
+            "live_single_seconds": round(t_live, 6),
+            "compiled_single_seconds": round(t_single, 6),
+            "batch_seconds": round(t_batch, 6),
+            "live_single_rps": round(count / t_live, 1),
+            "compiled_single_rps": round(count / t_single, 1),
+            "batch_rps": round(count / t_batch, 1),
+            "speedup_batch_vs_live": round(t_live / t_batch, 3),
+            "speedup_batch_vs_single": round(t_single / t_batch, 3),
+        },
+        "estimation": {
+            "live_single_seconds": round(te_live, 6),
+            "batch_seconds": round(te_batch, 6),
+            "live_single_rps": round(count / te_live, 1),
+            "batch_rps": round(count / te_batch, 1),
+            "speedup_batch_vs_live": round(te_live / te_batch, 3),
+        },
+    }
+    return record
+
+
+def _print_record(record):
+    r = record["routing"]
+    e = record["estimation"]
+    print(f"[E8] routing     n={record['num_vertices']:<4} "
+          f"pairs={record['pairs']:<6} "
+          f"live={r['live_single_rps']:>10.0f}/s "
+          f"single={r['compiled_single_rps']:>10.0f}/s "
+          f"batch={r['batch_rps']:>10.0f}/s "
+          f"(batch vs live {r['speedup_batch_vs_live']:.1f}x)")
+    print(f"[E8] estimation  n={record['num_vertices']:<4} "
+          f"pairs={record['pairs']:<6} "
+          f"live={e['live_single_rps']:>10.0f}/s "
+          f"{'':>17} batch={e['batch_rps']:>10.0f}/s "
+          f"(batch vs live {e['speedup_batch_vs_live']:.1f}x)")
+
+
+@pytest.mark.artifact("E8")
+def bench_query_throughput(benchmark, scaling_ns):
+    """Batch serving beats the live per-call loops (gates above)."""
+    n = scaling_ns[-1]
+    record = benchmark.pedantic(
+        lambda: measure_query_throughput(n=n, pairs=2000, repeats=2),
+        rounds=1, iterations=1)
+    print()
+    _print_record(record)
+    routing = record["routing"]
+    assert routing["speedup_batch_vs_live"] >= REQUIRED_BATCH_SPEEDUP
+    # the batch API must never lose to single compiled calls
+    assert routing["speedup_batch_vs_single"] >= 0.9
+    assert record["estimation"]["speedup_batch_vs_live"] >= \
+        REQUIRED_ESTIMATION_SPEEDUP
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n", type=int, default=128,
+                        help="workload size (>= 101 so 10k distinct "
+                             "pairs exist)")
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--pairs", type=int, default=10_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "results"
+                        / "query_throughput.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+    record = measure_query_throughput(n=args.n, k=args.k,
+                                      pairs=args.pairs,
+                                      repeats=args.repeats)
+    _print_record(record)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[E8] record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

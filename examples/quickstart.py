@@ -1,52 +1,81 @@
 #!/usr/bin/env python3
-"""Quickstart: build the paper's routing scheme and route some packets.
+"""Quickstart: the build → compile → serve lifecycle.
 
-Builds the Elkin–Neiman compact routing scheme on a random network,
-routes a few packets, and prints the measured quality next to the
-paper's guarantees.
+Builds the Elkin–Neiman compact routing scheme through the staged
+pipeline facade, compiles it into a flat serve-side artifact, round-trips
+the artifact through disk, and serves a batch of queries from the loaded
+tables — next to the paper's guarantees, measured.
 
 Run:  python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.analysis import evaluate_routing
-from repro.core import build_routing_scheme
-from repro.graphs import random_connected
+from repro.core import load_artifact, sample_pairs
+from repro.pipeline import SchemePipeline
 
 N, K, SEED = 80, 3, 42
 
 
 def main() -> None:
-    print(f"Building a random network: n={N} vertices")
-    graph = random_connected(N, edge_probability=0.08, seed=SEED)
-    print(f"  -> {graph.num_edges} edges, connected\n")
+    print(f"Configuring the pipeline: random workload, n={N}, k={K} "
+          f"(stretch bound 4k-5 = {4 * K - 5})")
+    pipeline = (SchemePipeline()
+                .workload("random", N)
+                .params(K)
+                .seed(SEED))
 
-    print(f"Constructing the routing scheme (k={K}, "
-          f"stretch bound 4k-5 = {4 * K - 5})...")
-    scheme = build_routing_scheme(graph, k=K, seed=SEED)
-    print(f"  construction cost : {scheme.construction_rounds:,} "
-          f"CONGEST rounds (measured)")
+    print("Stage 1 — build (the only expensive stage)...")
+    built = pipeline.build()
+    scheme = built.scheme
+    print(f"  {built.summary().splitlines()[0]}")
+    print(f"  construction cost : {built.rounds:,} CONGEST rounds "
+          f"(measured)")
     print(f"  routing tables    : max {scheme.max_table_words()} words "
           f"(avg {scheme.average_table_words():.1f})")
     print(f"  labels            : max {scheme.max_label_words()} words\n")
 
-    print("Routing a few packets (source -> target, path, stretch):")
-    for source, target in [(0, N - 1), (3, 57), (12, 33), (70, 7)]:
-        route = scheme.route(source, target)
+    print("Stage 2 — compile to a graph-detached artifact...")
+    compiled = pipeline.compile()
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "scheme.cra"
+        compiled.save(artifact)
+        print(f"  saved {artifact.name}: {artifact.stat().st_size} "
+              f"bytes for n={compiled.num_vertices}, "
+              f"k={compiled.k}")
+        served = load_artifact(artifact)
+    print(f"  loaded back: {served!r}\n")
+
+    print("Stage 3 — serve (batch API, no graph, no reconstruction):")
+    demo_pairs = [(0, N - 1), (3, 57), (12, 33), (70, 7)]
+    for route in served.route_many(demo_pairs):
         path = " -> ".join(map(str, route.path[:6]))
         if len(route.path) > 6:
             path += f" ... ({route.hops} hops)"
-        print(f"  {source:>3} -> {target:<3}: {path}")
+        live = scheme.route(route.source, route.target)
+        assert route.path == live.path and route.weight == live.weight
+        print(f"  {route.source:>3} -> {route.target:<3}: {path}")
         print(f"        weight {route.weight:.0f} vs shortest "
-              f"{route.exact_distance:.0f}  "
-              f"(stretch {route.stretch:.3f}, found at level "
+              f"{live.exact_distance:.0f}  (stretch "
+              f"{live.stretch:.3f}, found at level "
               f"{route.found_level}, tree of {route.tree_center})")
 
-    print("\nEvaluating stretch over 500 random pairs...")
-    report = evaluate_routing(graph, scheme, sample=500, seed=1)
+    print("\nEvaluating stretch over 500 random pairs "
+          "(batch serve path)...")
+    report = evaluate_routing(scheme.graph, served, sample=500, seed=1)
     print(f"  {report}")
     print(f"  paper bound: 4k-5 + o(1) = {4 * K - 5} + o(1)")
     assert report.max_stretch <= 4 * K - 5 + 1.0
     print("  OK: measured stretch within the paper's guarantee")
+
+    import random
+    pairs = sample_pairs(N, 1000, random.Random(3))
+    assert [r.weight for r in served.route_many(pairs)] == \
+        [scheme.route(u, v).weight for u, v in pairs]
+    print("  OK: compiled artifact bit-identical to the live scheme "
+          f"on {len(pairs)} more pairs")
 
 
 if __name__ == "__main__":

@@ -17,8 +17,8 @@ import random
 
 from repro.analysis import evaluate_estimation
 from repro.baselines import build_tz_oracle
-from repro.core import build_distance_estimation
 from repro.graphs import dijkstra_distances, random_geometric
+from repro.pipeline import SchemePipeline
 
 N, K, SEED = 90, 3, 11
 
@@ -30,7 +30,8 @@ def main() -> None:
 
     print(f"Building Theorem-6 sketches (k={K}, "
           f"stretch bound 2k-1 = {2 * K - 1})...")
-    est = build_distance_estimation(graph, k=K, seed=SEED)
+    est = (SchemePipeline().graph(graph).params(K).seed(SEED)
+           .build_estimation())
     print(f"  construction: {est.construction_rounds:,} CONGEST rounds")
     print(f"  sketch size : max {est.max_sketch_words()} words "
           f"(avg {est.average_sketch_words():.1f})\n")

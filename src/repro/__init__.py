@@ -17,6 +17,7 @@ True
 __version__ = "1.0.0"
 
 from .exceptions import (
+    ArtifactError,
     CapacityError,
     DisconnectedGraphError,
     GraphError,
@@ -42,6 +43,7 @@ from .graphs import (
 __all__ = [
     "__version__",
     # exceptions
+    "ArtifactError",
     "CapacityError",
     "DisconnectedGraphError",
     "GraphError",
@@ -65,6 +67,11 @@ __all__ = [
     "build_routing_scheme",
     "build_distance_estimation",
     "RoutingScheme",
+    "SchemePipeline",
+    "BuildReport",
+    "CompiledScheme",
+    "CompiledEstimation",
+    "load_artifact",
 ]
 
 
@@ -80,4 +87,10 @@ def __getattr__(name):
     if name == "build_distance_estimation":
         from .core import distance_estimation as _de
         return _de.build_distance_estimation
+    if name in ("SchemePipeline", "BuildReport"):
+        from . import pipeline as _pl
+        return getattr(_pl, name)
+    if name in ("CompiledScheme", "CompiledEstimation", "load_artifact"):
+        from .core import compiled as _cp
+        return getattr(_cp, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Sequence
 
-from ..core.scheme_builder import construct_scheme
+from ..pipeline import SchemePipeline
 from ..graphs.weighted_graph import WeightedGraph
 from .stretch import evaluate_estimation, evaluate_routing
 from .tables import Table1Result, generate_table1
@@ -59,8 +59,9 @@ def scheme_sweep_markdown(graph: WeightedGraph, ks: Sequence[int],
     """Per-k measured summary of this paper's scheme (E2/E3 style)."""
     rows = []
     for k in ks:
-        report = construct_scheme(graph, k=k, seed=seed,
-                                  detection_mode=detection_mode)
+        report = (SchemePipeline().graph(graph)
+                  .params(k, detection_mode=detection_mode)
+                  .seed(seed).build().construction)
         routing = evaluate_routing(graph, report.scheme,
                                    sample=sample_pairs, seed=seed)
         estimation = evaluate_estimation(graph, report.estimation,

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Tuple
 from ..baselines.lp13 import build_lp13_scheme
 from ..baselines.lp15 import build_lp15_scheme
 from ..baselines.tz_routing import build_tz_routing
-from ..core.scheme_builder import construct_scheme
 from ..graphs.metrics import hop_diameter, shortest_path_diameter
 from ..graphs.weighted_graph import WeightedGraph
 from .round_model import GraphScale, TABLE1_STRETCH, lower_bound
@@ -121,9 +120,10 @@ def generate_table1(graph: WeightedGraph, k: int, seed: int = 0,
                                  seed=seed),
         paper_stretch=TABLE1_STRETCH["LP15"](k)))
 
-    ours = construct_scheme(graph, k=k, seed=seed,
-                            detection_mode=detection_mode,
-                            engine=engine)
+    from ..pipeline import SchemePipeline
+    ours = (SchemePipeline().graph(graph)
+            .params(k, detection_mode=detection_mode)
+            .engine(engine).seed(seed).build().construction)
     rows.append(Table1Row(
         scheme="this paper",
         rounds=float(ours.rounds), rounds_kind="measured",

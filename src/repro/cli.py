@@ -2,15 +2,23 @@
 
 Commands
 --------
-build      Build the routing scheme on a generated workload and print
-           the construction report (rounds, sizes, bounds).
+build      Build the routing scheme on a generated workload, print the
+           construction report, and optionally compile + save the
+           serve-side artifact (``--out scheme.cra``).
+query      Load a saved artifact (routing or estimation) and answer
+           pairs — from ``--pairs-file``, ``--pair u v`` flags, or
+           stdin — without reconstructing anything.
 route      Build, then route one packet and print the path and stretch.
 table1     Regenerate Table 1 on a workload.
-estimate   Build the Theorem-6 sketches and answer distance queries.
+estimate   Build the Theorem-6 sketches and answer distance queries;
+           ``--out`` saves the compiled estimation artifact.
 bounds     Print the analytic Table-1 round models for given (n, k, D).
 
-Every command takes ``--graph`` (workload family), ``--n``, ``--k`` and
-``--seed``; run with ``-h`` for the full flag list.
+Construction commands run through the staged
+:class:`repro.pipeline.SchemePipeline` facade and echo the *actual*
+workload size next to the requested ``--n`` (``grid``/``cliques``/
+``star`` round it); ``query`` exercises the serve half of the
+build/serve split on its own.
 """
 
 from __future__ import annotations
@@ -18,7 +26,8 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 from .analysis import (
     GraphScale,
@@ -28,41 +37,28 @@ from .analysis import (
     model_table,
 )
 from .congest import DEFAULT_ENGINE, available_engines
-from .core import build_distance_estimation, construct_scheme
-from .graphs import (
-    WeightedGraph,
-    grid,
-    random_connected,
-    random_geometric,
-    ring_of_cliques,
-    star_of_paths,
-    weighted_small_world,
-)
+from .core.compiled import CompiledScheme, load_artifact
+from .pipeline import WORKLOADS, SchemePipeline
 
-#: Workload name -> factory(n, seed).
-WORKLOADS: Dict[str, Callable[[int, int], WeightedGraph]] = {
-    "random": lambda n, seed: random_connected(n, 6.0 / n, seed=seed),
-    "geometric": lambda n, seed: random_geometric(n, seed=seed),
-    "grid": lambda n, seed: grid(max(2, int(n ** 0.5)),
-                                 max(2, int(n ** 0.5)), seed=seed),
-    "cliques": lambda n, seed: ring_of_cliques(max(2, n // 8), 8,
-                                               seed=seed),
-    "star": lambda n, seed: star_of_paths(max(2, n // 10), 10,
-                                          seed=seed),
-    "smallworld": lambda n, seed: weighted_small_world(n, seed=seed),
-}
+#: Number of random demo pairs ``query`` serves when given none.
+_QUERY_DEMO_PAIRS = 5
 
 
-def _make_graph(args: argparse.Namespace) -> WeightedGraph:
-    factory = WORKLOADS[args.graph]
-    return factory(args.n, args.seed)
+def _pipeline(args: argparse.Namespace) -> SchemePipeline:
+    """The shared staged configuration every build command uses."""
+    return (SchemePipeline()
+            .workload(args.graph, args.n)
+            .params(args.k, detection_mode=args.detection_mode)
+            .engine(args.engine)
+            .seed(args.seed))
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--graph", choices=sorted(WORKLOADS),
                         default="random", help="workload family")
     parser.add_argument("--n", type=int, default=64,
-                        help="approximate number of vertices")
+                        help="approximate number of vertices (the "
+                             "report echoes the actual count)")
     parser.add_argument("--k", type=int, default=3,
                         help="stretch/size tradeoff parameter")
     parser.add_argument("--seed", type=int, default=0,
@@ -78,32 +74,102 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    graph = _make_graph(args)
-    print(f"workload={args.graph} n={graph.num_vertices} "
-          f"m={graph.num_edges}")
-    report = construct_scheme(graph, k=args.k, seed=args.seed,
-                              detection_mode=args.detection_mode,
-                              engine=args.engine)
-    print(report.summary())
+    pipeline = _pipeline(args)
+    built = pipeline.build()
+    graph = built.scheme.graph
+    line = f"workload={args.graph} n={graph.num_vertices} m={graph.num_edges}"
+    if built.requested_n is not None \
+            and built.requested_n != graph.num_vertices:
+        line += f" (requested n={built.requested_n})"
+    print(line)
+    print(built.construction.summary())
     if args.phases:
         print("\nper-phase round breakdown:")
-        print(report.scheme.ledger.format_table())
+        print(built.scheme.ledger.format_table())
     if args.evaluate:
-        stretch = evaluate_routing(graph, report.scheme,
+        stretch = evaluate_routing(graph, built.scheme,
                                    sample=args.evaluate,
                                    seed=args.seed)
         print(f"\n{stretch}")
+    if args.out:
+        compiled = pipeline.compile()
+        compiled.save(args.out)
+        size = Path(args.out).stat().st_size
+        from .core.compiled import FORMAT_VERSION
+        print(f"\ncompiled artifact: {args.out} ({size} bytes, "
+              f"format v{FORMAT_VERSION}, "
+              f"n={compiled.num_vertices}, k={compiled.k}); "
+              f"serve it with `python -m repro query {args.out}`")
+    return 0
+
+
+def _read_pairs(args: argparse.Namespace, n: int,
+                seed: int) -> List[Tuple[int, int]]:
+    """Query pairs from --pairs-file, --pair flags, stdin, or a demo."""
+    pairs: List[Tuple[int, int]] = []
+    if args.pairs_file:
+        for line in Path(args.pairs_file).read_text().splitlines():
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            u, v = line.split()
+            pairs.append((int(u), int(v)))
+        return pairs
+    if args.pair:
+        return [(u, v) for u, v in args.pair]
+    try:
+        piped = None if sys.stdin.isatty() else sys.stdin.read()
+    except OSError:  # no usable stdin (e.g. captured test harness)
+        piped = None
+    if piped:
+        for line in piped.splitlines():
+            line = line.split("#", 1)[0].strip()
+            if line:
+                u, v = line.split()
+                pairs.append((int(u), int(v)))
+        if pairs:
+            return pairs
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n))
+            for _ in range(_QUERY_DEMO_PAIRS)]
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    artifact = load_artifact(args.artifact)
+    n = artifact.num_vertices
+    kind = artifact.kind
+    print(f"artifact={args.artifact} kind={kind} n={n} k={artifact.k} "
+          f"(construction paid: "
+          f"{artifact.meta.get('construction_rounds', '?')} rounds)")
+    pairs = _read_pairs(args, n, args.seed)
+    if not pairs:
+        print("no query pairs supplied")
+        return 1
+    if isinstance(artifact, CompiledScheme):
+        for result in artifact.route_many(pairs):
+            path = " -> ".join(map(str, result.path[:8]))
+            if len(result.path) > 8:
+                path += f" ... ({result.hops} hops)"
+            print(f"  route {result.source:>4} -> {result.target:<4}: "
+                  f"weight {result.weight:.0f}, level "
+                  f"{result.found_level}, tree {result.tree_center}, "
+                  f"path {path}")
+    else:
+        for (u, v), estimate in zip(pairs,
+                                    artifact.estimate_many(pairs)):
+            print(f"  dist({u},{v}) ~ {estimate:.0f}")
+    print(f"served {len(pairs)} queries from the artifact "
+          "(no reconstruction)")
     return 0
 
 
 def cmd_route(args: argparse.Namespace) -> int:
-    graph = _make_graph(args)
-    report = construct_scheme(graph, k=args.k, seed=args.seed,
-                              detection_mode=args.detection_mode,
-                              engine=args.engine)
+    built = _pipeline(args).build()
+    graph = built.scheme.graph
+    print(f"workload={args.graph} n={graph.num_vertices}")
     source = args.source % graph.num_vertices
     target = args.target % graph.num_vertices
-    result = report.scheme.route(source, target)
+    result = built.scheme.route(source, target)
     print(f"route {source} -> {target}")
     print(f"  path    : {' -> '.join(map(str, result.path))}")
     print(f"  weight  : {result.weight:.0f} "
@@ -116,8 +182,10 @@ def cmd_route(args: argparse.Namespace) -> int:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    graph = _make_graph(args)
-    result = generate_table1(graph, k=args.k, seed=args.seed,
+    from .pipeline import make_workload
+    instance = make_workload(args.graph, args.n, args.seed)
+    print(instance.describe())
+    result = generate_table1(instance.graph, k=args.k, seed=args.seed,
                              sample_pairs=args.pairs,
                              graph_name=args.graph,
                              detection_mode=args.detection_mode,
@@ -127,10 +195,10 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
-    graph = _make_graph(args)
-    est = build_distance_estimation(graph, k=args.k, seed=args.seed,
-                                    detection_mode=args.detection_mode,
-                                    engine=args.engine)
+    pipeline = _pipeline(args)
+    est = pipeline.build_estimation()
+    graph = est.graph
+    print(f"workload={args.graph} n={graph.num_vertices}")
     print(f"sketches built: max {est.max_sketch_words()} words, "
           f"avg {est.average_sketch_words():.1f}")
     rng = random.Random(args.seed)
@@ -148,6 +216,13 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     report = evaluate_estimation(graph, est, sample=300,
                                  seed=args.seed)
     print(report)
+    if args.out:
+        compiled = est.compile()
+        compiled.save(args.out)
+        size = Path(args.out).stat().st_size
+        print(f"compiled estimation artifact: {args.out} "
+              f"({size} bytes); serve it with "
+              f"`python -m repro query {args.out}`")
     return 0
 
 
@@ -173,7 +248,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the per-phase round ledger")
     p_build.add_argument("--evaluate", type=int, metavar="PAIRS",
                          help="also evaluate stretch on PAIRS pairs")
+    p_build.add_argument("--out", metavar="FILE",
+                         help="compile and save the serve-side "
+                              "artifact (conventionally .cra)")
     p_build.set_defaults(func=cmd_build)
+
+    p_query = sub.add_parser(
+        "query", help="serve queries from a saved artifact")
+    p_query.add_argument("artifact", help="a file written by "
+                                          "`build --out` or "
+                                          "`estimate --out`")
+    p_query.add_argument("--pairs-file", metavar="FILE",
+                         help="whitespace-separated 'u v' pairs, one "
+                              "per line ('#' comments allowed)")
+    p_query.add_argument("--pair", nargs=2, type=int, action="append",
+                         metavar=("U", "V"),
+                         help="one query pair (repeatable)")
+    p_query.add_argument("--seed", type=int, default=0,
+                         help="seed for the demo pairs when no input "
+                              "is given")
+    p_query.set_defaults(func=cmd_query)
 
     p_route = sub.add_parser("route", help="route one packet")
     _add_common(p_route)
@@ -190,6 +284,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_est = sub.add_parser("estimate", help="distance estimation demo")
     _add_common(p_est)
     p_est.add_argument("--queries", type=int, default=5)
+    p_est.add_argument("--out", metavar="FILE",
+                       help="compile and save the estimation artifact")
     p_est.set_defaults(func=cmd_estimate)
 
     p_bounds = sub.add_parser("bounds",

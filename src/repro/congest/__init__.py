@@ -28,7 +28,9 @@ from .bellman_ford import (
     NearestSourceResult,
     VirtualExplorationResult,
     multi_source_exploration,
+    multi_source_exploration_reference,
     nearest_source_exploration,
+    nearest_source_exploration_reference,
     virtual_multi_source_exploration,
 )
 
@@ -63,6 +65,8 @@ __all__ = [
     "NearestSourceResult",
     "VirtualExplorationResult",
     "multi_source_exploration",
+    "multi_source_exploration_reference",
     "nearest_source_exploration",
+    "nearest_source_exploration_reference",
     "virtual_multi_source_exploration",
 ]

@@ -20,6 +20,27 @@ Three variants back the paper's construction:
 
 All variants run round-by-round over explicit per-node state, so their
 outputs are exactly what the message-passing execution would compute.
+
+Like the CONGEST round engine, the two physical-graph explorations ship
+in two implementations: the original dict-based loops live on as
+``nearest_source_exploration_reference`` /
+``multi_source_exploration_reference`` (the semantic oracles), while
+the public names run a **batched flat-array path** — CSR/snapshot
+adjacency (no per-vertex generator dispatch), candidate arrays with a
+touched-list instead of ``setdefault`` churn, and sorted frontiers.
+
+One deliberate semantic pin, applied to *both* implementations:
+frontiers are processed in sorted vertex order (the originals iterated
+a ``set``/dict), so equal-distance ties resolve deterministically and
+identically across the pair.  Distances, frontier membership,
+iteration and round counts were already order-independent; only
+``source_of``/``parent`` ties could differ, and no seeded workload in
+the suite observes a change.  The differential harness
+(``tests/congest/test_engine_equivalence.py``) asserts every result
+field matches exactly between oracle and batched path.  The
+virtual-graph variant stays dict-based: its instances are tiny
+(``|A_{ceil(k/2)}|`` vertices) and its cost is dominated by the
+Lemma-1 broadcast accounting.
 """
 
 from __future__ import annotations
@@ -40,6 +61,22 @@ JoinPredicate = Callable[[int, int, float], bool]
 _ESTIMATE_WORDS = 2
 
 
+def _flat_adjacency(graph: WeightedGraph
+                    ) -> Tuple[List[int], List[int], List[int]]:
+    """CSR adjacency ``(starts, neighbors, weights)`` in the graph's
+    neighbor order (the same order the dict-based loops visit)."""
+    n = graph.num_vertices
+    starts = [0] * (n + 1)
+    neighbors: List[int] = []
+    weights: List[int] = []
+    for u in range(n):
+        for v, w in graph.neighbor_weights(u):
+            neighbors.append(v)
+            weights.append(w)
+        starts[u + 1] = len(neighbors)
+    return starts, neighbors, weights
+
+
 @dataclass
 class NearestSourceResult:
     """Outcome of :func:`nearest_source_exploration`."""
@@ -51,21 +88,17 @@ class NearestSourceResult:
     rounds: int
 
 
-def nearest_source_exploration(graph: WeightedGraph,
-                               sources: Sequence[int],
-                               iterations: int,
-                               capacity_words: int = 2
-                               ) -> NearestSourceResult:
-    """Bounded Bellman–Ford rooted at a vertex *set*.
+def nearest_source_exploration_reference(graph: WeightedGraph,
+                                         sources: Sequence[int],
+                                         iterations: int,
+                                         capacity_words: int = 2
+                                         ) -> NearestSourceResult:
+    """Dict-based oracle for :func:`nearest_source_exploration`.
 
-    After ``t`` iterations each node knows the minimum, over sources ``s``,
-    of the ``t``-hop-bounded distance to ``s``, together with the closest
-    such source and the neighbor (parent) realizing it — exactly the
-    paper's pivot computation ("conduct 4 n^{i/k} ln n iterations of
-    Bellman-Ford rooted in the vertex set A_i").
-
-    Each node sends one ``(source, dist)`` pair per link per iteration, so
-    an iteration costs ``ceil(2 / capacity)`` rounds.
+    The original per-node loop, kept as the semantic reference for the
+    differential harness.  The frontier is processed in sorted vertex
+    order so equal-distance ties resolve deterministically (and
+    identically to the batched implementation).
     """
     n = graph.num_vertices
     dist: List[float] = [INF] * n
@@ -83,7 +116,7 @@ def nearest_source_exploration(graph: WeightedGraph,
         executed += 1
         per_iter_words.append(_ESTIMATE_WORDS if frontier else 0)
         updates: Dict[int, Tuple[float, int, int]] = {}
-        for u in frontier:
+        for u in sorted(frontier):
             du = dist[u]
             su = source_of[u]
             assert su is not None
@@ -99,6 +132,72 @@ def nearest_source_exploration(graph: WeightedGraph,
                 source_of[v] = s
                 parent[v] = via
                 frontier.add(v)
+    rounds = congestion_rounds(per_iter_words, capacity_words)
+    return NearestSourceResult(dist=dist, source_of=source_of,
+                               parent=parent, iterations=executed,
+                               rounds=rounds)
+
+
+def nearest_source_exploration(graph: WeightedGraph,
+                               sources: Sequence[int],
+                               iterations: int,
+                               capacity_words: int = 2
+                               ) -> NearestSourceResult:
+    """Bounded Bellman–Ford rooted at a vertex *set*.
+
+    After ``t`` iterations each node knows the minimum, over sources ``s``,
+    of the ``t``-hop-bounded distance to ``s``, together with the closest
+    such source and the neighbor (parent) realizing it — exactly the
+    paper's pivot computation ("conduct 4 n^{i/k} ln n iterations of
+    Bellman-Ford rooted in the vertex set A_i").
+
+    Each node sends one ``(source, dist)`` pair per link per iteration, so
+    an iteration costs ``ceil(2 / capacity)`` rounds.
+
+    Batched flat-array implementation: relaxations walk a CSR adjacency,
+    per-iteration candidates live in flat arrays reset via a touched
+    list, and the frontier is a sorted vertex list.  Result-identical to
+    :func:`nearest_source_exploration_reference`.
+    """
+    n = graph.num_vertices
+    starts, nbrs, wts = _flat_adjacency(graph)
+    dist: List[float] = [INF] * n
+    source_of: List[Optional[int]] = [None] * n
+    parent: List[Optional[int]] = [None] * n
+    for s in sources:
+        dist[s] = 0
+        source_of[s] = s
+    frontier = sorted(set(sources))
+    cand_d: List[float] = [INF] * n
+    cand_s = [0] * n
+    cand_p = [0] * n
+    per_iter_words: List[int] = []
+    executed = 0
+    for _ in range(iterations):
+        if not frontier:
+            break
+        executed += 1
+        per_iter_words.append(_ESTIMATE_WORDS)
+        touched: List[int] = []
+        for u in frontier:
+            du = dist[u]
+            su = source_of[u]
+            for j in range(starts[u], starts[u + 1]):
+                v = nbrs[j]
+                nd = du + wts[j]
+                if nd < dist[v] and nd < cand_d[v]:
+                    if cand_d[v] == INF:
+                        touched.append(v)
+                    cand_d[v] = nd
+                    cand_s[v] = su
+                    cand_p[v] = u
+        frontier = []
+        for v in sorted(touched):
+            dist[v] = cand_d[v]
+            source_of[v] = cand_s[v]
+            parent[v] = cand_p[v]
+            cand_d[v] = INF
+            frontier.append(v)
     rounds = congestion_rounds(per_iter_words, capacity_words)
     return NearestSourceResult(dist=dist, source_of=source_of,
                                parent=parent, iterations=executed,
@@ -125,24 +224,17 @@ class ExplorationResult:
         return [v for v in range(len(self.dist)) if source in self.dist[v]]
 
 
-def multi_source_exploration(graph: WeightedGraph,
-                             sources: Sequence[int],
-                             iterations: int,
-                             join: JoinPredicate,
-                             capacity_words: int = 2
-                             ) -> ExplorationResult:
-    """Parallel bounded-depth Bellman–Ford from every source.
+def multi_source_exploration_reference(graph: WeightedGraph,
+                                       sources: Sequence[int],
+                                       iterations: int,
+                                       join: JoinPredicate,
+                                       capacity_words: int = 2
+                                       ) -> ExplorationResult:
+    """Dict-based oracle for :func:`multi_source_exploration`.
 
-    Implements the cluster-growing loop of Section 3.2: a vertex ``v``
-    receiving an estimate ``b_v(u)`` for source ``u`` stores and relays it
-    iff ``join(v, u, b_v(u))`` holds; improved estimates are re-relayed.
-    Sources always hold estimate 0 for themselves.
-
-    Round accounting measures, per iteration, the maximum number of words
-    any single node must push over one of its links (every live update is
-    sent to all neighbors), and charges ``ceil(words / capacity)`` rounds
-    — the paper's congestion argument (Claim 2 bounds the number of live
-    estimates per node by ``Õ(n^{1/k})`` w.h.p.).
+    The original setdefault-heavy loop, kept as the semantic reference
+    for the differential harness; frontier and update application run in
+    sorted vertex order so tie-breaking matches the batched path.
     """
     n = graph.num_vertices
     dist: List[Dict[int, float]] = [dict() for _ in range(n)]
@@ -162,7 +254,7 @@ def multi_source_exploration(graph: WeightedGraph,
         congestion = max(len(updated) for updated in frontier.values())
         per_iter_words.append(congestion * _ESTIMATE_WORDS)
         updates: Dict[int, Dict[int, Tuple[float, int]]] = {}
-        for u, updated_sources in frontier.items():
+        for u, updated_sources in sorted(frontier.items()):
             du = dist[u]
             for v, weight in graph.neighbor_weights(u):
                 bucket = updates.setdefault(v, {})
@@ -172,7 +264,7 @@ def multi_source_exploration(graph: WeightedGraph,
                     if best is None or nd < best[0]:
                         bucket[s] = (nd, u)
         frontier = {}
-        for v, bucket in updates.items():
+        for v, bucket in sorted(updates.items()):
             changed: List[int] = []
             for s, (nd, via) in bucket.items():
                 current = dist[v].get(s, INF)
@@ -184,6 +276,103 @@ def multi_source_exploration(graph: WeightedGraph,
                 frontier[v] = changed
             if len(dist[v]) > max_live:
                 max_live = len(dist[v])
+    rounds = congestion_rounds(per_iter_words, capacity_words)
+    return ExplorationResult(dist=dist, parent=parent, iterations=executed,
+                             rounds=rounds,
+                             max_estimates_per_node=max_live)
+
+
+def multi_source_exploration(graph: WeightedGraph,
+                             sources: Sequence[int],
+                             iterations: int,
+                             join: JoinPredicate,
+                             capacity_words: int = 2
+                             ) -> ExplorationResult:
+    """Parallel bounded-depth Bellman–Ford from every source.
+
+    Implements the cluster-growing loop of Section 3.2: a vertex ``v``
+    receiving an estimate ``b_v(u)`` for source ``u`` stores and relays it
+    iff ``join(v, u, b_v(u))`` holds; improved estimates are re-relayed.
+    Sources always hold estimate 0 for themselves.
+
+    Round accounting measures, per iteration, the maximum number of words
+    any single node must push over one of its links (every live update is
+    sent to all neighbors), and charges ``ceil(words / capacity)`` rounds
+    — the paper's congestion argument (Claim 2 bounds the number of live
+    estimates per node by ``Õ(n^{1/k})`` w.h.p.).
+
+    Batched implementation: relaxations walk a materialized adjacency
+    snapshot (with a fast path for the common one-live-estimate relay);
+    per-target candidate buckets live in a flat array indexed by vertex
+    and reset via a touched list (no ``setdefault`` churn); frontiers
+    are sorted ``(vertex, sources)`` lists.  Result-identical to
+    :func:`multi_source_exploration_reference`.
+    """
+    n = graph.num_vertices
+    adjacency = [list(graph.neighbor_weights(u)) for u in range(n)]
+    dist: List[Dict[int, float]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+    initial: Dict[int, List[int]] = {}
+    for s in sources:
+        dist[s][s] = 0.0
+        parent[s][s] = None
+        initial.setdefault(s, []).append(s)
+    frontier: List[Tuple[int, List[int]]] = sorted(initial.items())
+    buckets: List[Optional[Dict[int, Tuple[float, int]]]] = [None] * n
+    per_iter_words: List[int] = []
+    executed = 0
+    max_live = 0
+    for _ in range(iterations):
+        if not frontier:
+            break
+        executed += 1
+        congestion = max(len(srcs) for _u, srcs in frontier)
+        per_iter_words.append(congestion * _ESTIMATE_WORDS)
+        touched: List[int] = []
+        for u, updated_sources in frontier:
+            du = dist[u]
+            if len(updated_sources) == 1:
+                # the common sparse case: one live estimate to relay
+                s = updated_sources[0]
+                d = du[s]
+                for v, weight in adjacency[u]:
+                    bucket = buckets[v]
+                    if bucket is None:
+                        bucket = buckets[v] = {}
+                        touched.append(v)
+                    nd = d + weight
+                    best = bucket.get(s)
+                    if best is None or nd < best[0]:
+                        bucket[s] = (nd, u)
+                continue
+            relayed = [(s, du[s]) for s in updated_sources]
+            for v, weight in adjacency[u]:
+                bucket = buckets[v]
+                if bucket is None:
+                    bucket = buckets[v] = {}
+                    touched.append(v)
+                bucket_get = bucket.get
+                for s, d in relayed:
+                    nd = d + weight
+                    best = bucket_get(s)
+                    if best is None or nd < best[0]:
+                        bucket[s] = (nd, u)
+        frontier = []
+        for v in sorted(touched):
+            bucket = buckets[v]
+            buckets[v] = None
+            dv = dist[v]
+            pv = parent[v]
+            changed: List[int] = []
+            for s, (nd, via) in bucket.items():
+                if nd < dv.get(s, INF) and join(v, s, nd):
+                    dv[s] = nd
+                    pv[s] = via
+                    changed.append(s)
+            if changed:
+                frontier.append((v, changed))
+            if len(dv) > max_live:
+                max_live = len(dv)
     rounds = congestion_rounds(per_iter_words, capacity_words)
     return ExplorationResult(dist=dist, parent=parent, iterations=executed,
                              rounds=rounds,

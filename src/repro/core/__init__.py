@@ -40,6 +40,12 @@ from .distance_estimation import (
     estimation_from_clusters,
     sketches_from_clusters,
 )
+from .compiled import (
+    CompiledEstimation,
+    CompiledRoute,
+    CompiledScheme,
+    load_artifact,
+)
 from .handshake import HandshakeRouteResult, HandshakeRouter
 from .scheme_builder import ConstructionReport, construct_scheme, sample_pairs
 
@@ -74,6 +80,10 @@ __all__ = [
     "build_distance_estimation",
     "estimation_from_clusters",
     "sketches_from_clusters",
+    "CompiledEstimation",
+    "CompiledRoute",
+    "CompiledScheme",
+    "load_artifact",
     "HandshakeRouteResult",
     "HandshakeRouter",
     "ConstructionReport",

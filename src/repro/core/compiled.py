@@ -1,0 +1,719 @@
+"""Compiled routing artifacts: the *serve* half of the build/serve split.
+
+The paper's economics are: pay the near-optimal distributed
+*construction* cost once, then answer routing and distance queries from
+compact tables forever.  The live :class:`~.routing_scheme.RoutingScheme`
+is the construction-side object — it drags the graph, the cluster
+system, and the forest of tree schemes around, and serves one packet per
+Python call through nested dict walks.  This module is the serve side:
+
+* :class:`CompiledScheme` — a flat-array, graph-detached artifact
+  holding everything Algorithm 1 (find-tree) and the Section-6 in-tree
+  forwarding protocol need: per-(tree, vertex) table rows, label rows,
+  a deduplicated tree-label pool, the 4k-5 member-label pairs, and the
+  per-vertex word counts.  Produced by ``RoutingScheme.compile()``;
+  routing decisions are **bit-identical** to the live scheme (enforced
+  by ``tests/core/test_compiled.py``).
+* :class:`CompiledEstimation` — the same split for the Theorem-6
+  sketches; Algorithm 2 (Dist) runs off two flat sketch rows.
+* a versioned on-disk format shared by both kinds —
+  ``MAGIC | version | header JSON | packed array payload`` — written by
+  ``save(path)`` and read back by ``load(path)`` /
+  :func:`load_artifact`.  Arrays are little-endian int64/float64;
+  decoding uses numpy when importable and the stdlib ``array`` module
+  otherwise, like the fast CONGEST engine.
+
+Batch serving: :meth:`CompiledScheme.route_many` and
+:meth:`CompiledEstimation.estimate_many` answer arrays of queries,
+grouping by target so per-label preparation is paid once per distinct
+target instead of once per query; the hot loops index flat Python lists
+bound to locals (faster than attribute-chasing dataclasses for the
+scalar, branchy forwarding protocol).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ArtifactError, ParameterError, SchemeError
+
+try:  # fast payload decode when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: File magic for every compiled artifact ("Repro Compiled Routing
+#: Artifact"); the conventional extension is ``.cra``.
+MAGIC = b"RCRA"
+
+#: Bump when the header or array layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_KIND_ROUTING = "routing"
+_KIND_ESTIMATION = "estimation"
+
+_INT = "q"      # int64
+_FLOAT = "d"    # float64
+_ITEM_BYTES = 8
+
+
+# ----------------------------------------------------------------------
+# Binary container: MAGIC | u32 version | u64 header len | header | payload
+# ----------------------------------------------------------------------
+def _pack_values(typecode: str, values: Sequence) -> bytes:
+    arr = array(typecode, values)
+    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _unpack_values(typecode: str, count: int, payload: bytes,
+                   offset: int) -> Tuple[list, int]:
+    nbytes = count * _ITEM_BYTES
+    chunk = payload[offset:offset + nbytes]
+    if len(chunk) != nbytes:
+        raise ArtifactError(
+            f"truncated artifact payload: wanted {nbytes} bytes at "
+            f"offset {offset}, found {len(chunk)}")
+    if _np is not None:
+        dtype = "<i8" if typecode == _INT else "<f8"
+        return _np.frombuffer(chunk, dtype=dtype).tolist(), offset + nbytes
+    arr = array(typecode)
+    arr.frombytes(chunk)
+    if sys.byteorder == "big":  # pragma: no cover
+        arr.byteswap()
+    return arr.tolist(), offset + nbytes
+
+
+def _check_contents(meta: Dict, arrays: Dict[str, list],
+                    fields: Tuple[Tuple[str, str], ...]) -> None:
+    """Reject structurally valid files whose header lies about content."""
+    missing = [name for name, _tc in fields if name not in arrays]
+    if missing:
+        raise ArtifactError(
+            f"artifact is missing required arrays: {missing}")
+    if "n" not in meta or "k" not in meta:
+        raise ArtifactError("artifact metadata lacks 'n'/'k'")
+
+
+def _write_artifact(path: Union[str, Path], kind: str, meta: Dict,
+                    arrays: List[Tuple[str, str, Sequence]]) -> None:
+    manifest = [[name, typecode, len(values)]
+                for name, typecode, values in arrays]
+    header = json.dumps({"kind": kind, "meta": meta,
+                         "arrays": manifest}).encode("utf-8")
+    blob = bytearray()
+    blob += MAGIC
+    blob += struct.pack("<I", FORMAT_VERSION)
+    blob += struct.pack("<Q", len(header))
+    blob += header
+    for _name, typecode, values in arrays:
+        blob += _pack_values(typecode, values)
+    Path(path).write_bytes(bytes(blob))
+
+
+def _read_artifact(path: Union[str, Path]
+                   ) -> Tuple[str, Dict, Dict[str, list]]:
+    data = Path(path).read_bytes()
+    if len(data) < len(MAGIC) + 12 or not data.startswith(MAGIC):
+        raise ArtifactError(
+            f"{path}: not a compiled routing artifact (bad magic)")
+    (version,) = struct.unpack_from("<I", data, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"{path}: unsupported artifact format version {version} "
+            f"(this build reads version {FORMAT_VERSION})")
+    (header_len,) = struct.unpack_from("<Q", data, len(MAGIC) + 4)
+    header_start = len(MAGIC) + 12
+    header_end = header_start + header_len
+    if header_end > len(data):
+        raise ArtifactError(f"{path}: truncated artifact header")
+    try:
+        header = json.loads(data[header_start:header_end])
+    except ValueError as exc:
+        raise ArtifactError(f"{path}: corrupt artifact header: {exc}") \
+            from None
+    payload = data[header_end:]
+    arrays: Dict[str, list] = {}
+    offset = 0
+    for name, typecode, count in header["arrays"]:
+        arrays[name], offset = _unpack_values(typecode, count, payload,
+                                              offset)
+    if offset != len(payload):
+        raise ArtifactError(
+            f"{path}: {len(payload) - offset} trailing bytes after "
+            "the declared arrays")
+    return header["kind"], header["meta"], arrays
+
+
+# ----------------------------------------------------------------------
+# Compiled routing scheme
+# ----------------------------------------------------------------------
+class CompiledRoute(NamedTuple):
+    """One served packet: what the compiled artifact can know.
+
+    Unlike the live :class:`~.routing_scheme.RouteResult` there is no
+    ``exact_distance`` — the artifact is graph-detached; stretch
+    harnesses supply their own Dijkstra oracle.  A ``NamedTuple`` (not
+    a dataclass) because the serve path constructs one per query and
+    tuple construction is several times cheaper.
+    """
+
+    source: int
+    target: int
+    path: List[int]
+    weight: float
+    tree_center: Optional[int]
+    found_level: int
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class CompiledScheme:
+    """Flat-array serve-side artifact of one routing scheme.
+
+    Construct with :meth:`from_scheme` (or the convenience
+    ``RoutingScheme.compile()``), persist with :meth:`save`, restore
+    with :meth:`load`.  All routing decisions replay the live scheme's
+    protocol bit for bit.
+    """
+
+    kind = _KIND_ROUTING
+
+    #: (name, typecode) of every payload array, in serialization order.
+    _FIELDS = (
+        ("tree_center", _INT),
+        ("slot_vertex", _INT), ("slot_tree", _INT),
+        ("t_parent", _INT), ("t_parent_w", _FLOAT),
+        ("t_loc_entry", _INT), ("t_loc_exit", _INT),
+        ("t_loc_parent", _INT), ("t_loc_heavy", _INT),
+        ("t_splitter", _INT), ("t_gentry", _INT), ("t_gexit", _INT),
+        ("t_hsplit", _INT), ("t_hportal", _INT), ("t_hlab", _INT),
+        ("l_local", _INT), ("l_ge_start", _INT), ("l_ge_end", _INT),
+        ("ge_psplit", _INT), ("ge_csplit", _INT),
+        ("ge_portal", _INT), ("ge_plab", _INT),
+        ("lp_entry", _INT), ("lp_start", _INT),
+        ("lp_w", _INT), ("lp_child", _INT),
+        ("lbl_pivot", _INT), ("lbl_slot", _INT),
+        ("ml_owner", _INT), ("ml_member", _INT),
+        ("table_words", _INT), ("label_words", _INT),
+    )
+
+    def __init__(self, meta: Dict, arrays: Dict[str, list]) -> None:
+        _check_contents(meta, arrays, self._FIELDS)
+        self._meta = dict(meta)
+        self._n = int(meta["n"])
+        self._k = int(meta["k"])
+        for name, _typecode in self._FIELDS:
+            setattr(self, "_" + name, arrays[name])
+        self._build_indexes()
+
+    def _build_indexes(self) -> None:
+        """Dict accelerators rebuilt from the flat arrays on load."""
+        self._tid_of: Dict[int, int] = {
+            c: tid for tid, c in enumerate(self._tree_center)}
+        slots: List[Dict[int, int]] = [dict() for _ in range(self._n)]
+        for s, (v, tid) in enumerate(zip(self._slot_vertex,
+                                         self._slot_tree)):
+            slots[v][tid] = s
+        self._slots = slots
+        members: List[Dict[int, int]] = [dict() for _ in range(self._n)]
+        for owner, member in zip(self._ml_owner, self._ml_member):
+            members[owner][member] = slots[member][self._tid_of[owner]]
+        self._members = members
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_scheme(cls, scheme) -> "CompiledScheme":
+        """Flatten a live :class:`RoutingScheme` into the artifact."""
+        graph = scheme.graph
+        n = graph.num_vertices
+        k = scheme.params.k
+        centers = sorted(scheme.forest.schemes)
+        tid_of = {c: tid for tid, c in enumerate(centers)}
+
+        # deduplicated TreeLabel pool (CSR over path edges)
+        pool: Dict[object, int] = {}
+        lp_entry: List[int] = []
+        lp_start: List[int] = [0]
+        lp_w: List[int] = []
+        lp_child: List[int] = []
+
+        def pool_label(label) -> int:
+            idx = pool.get(label)
+            if idx is None:
+                idx = len(lp_entry)
+                pool[label] = idx
+                lp_entry.append(label.entry)
+                for w, child, _port in label.path_edges:
+                    lp_w.append(w)
+                    lp_child.append(child)
+                lp_start.append(len(lp_w))
+            return idx
+
+        cols: Dict[str, list] = {name: [] for name, _tc in cls._FIELDS}
+        cols["tree_center"] = list(centers)
+        cols["lp_entry"] = lp_entry
+        cols["lp_start"] = lp_start
+        cols["lp_w"] = lp_w
+        cols["lp_child"] = lp_child
+
+        ge_range: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        slot_of: List[Dict[int, int]] = [dict() for _ in range(n)]
+        for center in centers:
+            tid = tid_of[center]
+            sch = scheme.forest.schemes[center]
+            for v in sorted(sch.tree.vertices()):
+                s = len(cols["slot_vertex"])
+                slot_of[v][tid] = s
+                table = sch.tables[v]
+                label = sch.labels[v]
+                if label.global_entry != table.global_entry:
+                    raise SchemeError(
+                        f"compile invariant broken at vertex {v} in tree "
+                        f"{center}: label/table global entries disagree")
+                cols["slot_vertex"].append(v)
+                cols["slot_tree"].append(tid)
+                p = table.tree_parent
+                cols["t_parent"].append(-1 if p is None else p)
+                cols["t_parent_w"].append(
+                    0.0 if p is None else float(graph.weight(v, p)))
+                loc = table.local
+                cols["t_loc_entry"].append(loc.entry)
+                cols["t_loc_exit"].append(loc.exit)
+                cols["t_loc_parent"].append(
+                    -1 if loc.parent is None else loc.parent)
+                cols["t_loc_heavy"].append(
+                    -1 if loc.heavy_child is None else loc.heavy_child)
+                cols["t_splitter"].append(table.splitter)
+                cols["t_gentry"].append(table.global_entry)
+                cols["t_gexit"].append(table.global_exit)
+                cols["t_hsplit"].append(
+                    -1 if table.heavy_splitter is None
+                    else table.heavy_splitter)
+                cols["t_hportal"].append(
+                    -1 if table.heavy_portal is None
+                    else table.heavy_portal)
+                cols["t_hlab"].append(
+                    -1 if table.heavy_portal_label is None
+                    else pool_label(table.heavy_portal_label))
+                cols["l_local"].append(pool_label(label.local))
+                key = (tid, table.splitter)
+                rng = ge_range.get(key)
+                if rng is None:
+                    start = len(cols["ge_psplit"])
+                    for entry in label.global_edges:
+                        cols["ge_psplit"].append(entry.parent_splitter)
+                        cols["ge_csplit"].append(entry.child_splitter)
+                        cols["ge_portal"].append(entry.portal)
+                        cols["ge_plab"].append(
+                            pool_label(entry.portal_label))
+                    rng = (start, len(cols["ge_psplit"]))
+                    ge_range[key] = rng
+                cols["l_ge_start"].append(rng[0])
+                cols["l_ge_end"].append(rng[1])
+
+        for v in range(n):
+            entries = scheme.labels[v].entries
+            for pivot, tree_label in entries:
+                cols["lbl_pivot"].append(-1 if pivot is None else pivot)
+                cols["lbl_slot"].append(
+                    -1 if tree_label is None
+                    else slot_of[v][tid_of[pivot]])
+            cols["table_words"].append(scheme.tables[v].words)
+            cols["label_words"].append(scheme.labels[v].words)
+            for member in sorted(scheme.tables[v].member_labels):
+                cols["ml_owner"].append(v)
+                cols["ml_member"].append(member)
+
+        meta = {
+            "n": n,
+            "k": k,
+            "eps": scheme.params.eps,
+            "construction_rounds": scheme.construction_rounds,
+            "num_trees": len(centers),
+            "num_slots": len(cols["slot_vertex"]),
+        }
+        return cls(meta, cols)
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the versioned artifact file (conventionally ``.cra``)."""
+        arrays = [(name, typecode, getattr(self, "_" + name))
+                  for name, typecode in self._FIELDS]
+        _write_artifact(path, self.kind, self._meta, arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CompiledScheme":
+        kind, meta, arrays = _read_artifact(path)
+        if kind != cls.kind:
+            raise ArtifactError(
+                f"{path}: artifact holds a {kind!r} scheme, not "
+                f"{cls.kind!r}")
+        return cls(meta, arrays)
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def meta(self) -> Dict:
+        return dict(self._meta)
+
+    def max_table_words(self) -> int:
+        return max(self._table_words)
+
+    def average_table_words(self) -> float:
+        return sum(self._table_words) / len(self._table_words)
+
+    def max_label_words(self) -> int:
+        return max(self._label_words)
+
+    def average_label_words(self) -> float:
+        return sum(self._label_words) / len(self._label_words)
+
+    def __repr__(self) -> str:
+        return (f"CompiledScheme(n={self._n}, k={self._k}, "
+                f"trees={len(self._tree_center)}, "
+                f"slots={len(self._slot_vertex)})")
+
+    # -- serving -------------------------------------------------------
+    def route(self, source: int, target: int,
+              max_hops: Optional[int] = None) -> CompiledRoute:
+        """Serve one packet from the compiled tables.
+
+        Delegates to :meth:`route_many` so the forwarding protocol
+        exists in exactly one place on the compiled side.
+        """
+        return self.route_many([(source, target)], max_hops=max_hops)[0]
+
+    def route_many(self, pairs: Sequence[Tuple[int, int]],
+                   max_hops: Optional[int] = None
+                   ) -> List[CompiledRoute]:
+        """Serve a batch of ``(source, target)`` queries.
+
+        Queries are grouped by target so each distinct target's label
+        rows are decoded once, and the whole forwarding protocol runs
+        as one loop over locally-bound flat arrays (no per-hop method
+        dispatch).  Results come back in input order and are identical
+        to per-call :meth:`route`.
+        """
+        n = self._n
+        k = self._k
+        hop_budget = 4 * n + 4 if max_hops is None else max_hops
+        slots = self._slots
+        members = self._members
+        tid_of = self._tid_of
+        lbl_pivot = self._lbl_pivot
+        lbl_slot = self._lbl_slot
+        slot_vertex = self._slot_vertex
+        t_parent = self._t_parent
+        t_parent_w = self._t_parent_w
+        t_loc_entry = self._t_loc_entry
+        t_loc_exit = self._t_loc_exit
+        t_loc_parent = self._t_loc_parent
+        t_loc_heavy = self._t_loc_heavy
+        t_splitter = self._t_splitter
+        t_gentry = self._t_gentry
+        t_gexit = self._t_gexit
+        t_hsplit = self._t_hsplit
+        t_hportal = self._t_hportal
+        t_hlab = self._t_hlab
+        l_local = self._l_local
+        l_ge_start = self._l_ge_start
+        l_ge_end = self._l_ge_end
+        ge_psplit = self._ge_psplit
+        ge_csplit = self._ge_csplit
+        ge_portal = self._ge_portal
+        ge_plab = self._ge_plab
+        lp_entry = self._lp_entry
+        lp_start = self._lp_start
+        lp_w = self._lp_w
+        lp_child = self._lp_child
+
+        def local_next(sx: int, li: int) -> Optional[int]:
+            # interval_next_hop over the pooled local label li
+            a = lp_entry[li]
+            e = t_loc_entry[sx]
+            if e == a:
+                return None
+            if not e <= a <= t_loc_exit[sx]:
+                p = t_loc_parent[sx]
+                if p < 0:
+                    raise SchemeError(
+                        f"label escapes the local tree at its root "
+                        f"(slot {sx})")
+                return p
+            x = slot_vertex[sx]
+            for j in range(lp_start[li], lp_start[li + 1]):
+                if lp_w[j] == x:
+                    return lp_child[j]
+            h = t_loc_heavy[sx]
+            if h < 0:
+                raise SchemeError(
+                    f"routing stuck at local leaf {x} (slot {sx})")
+            return h
+
+        results: List[Optional[CompiledRoute]] = [None] * len(pairs)
+        by_target: Dict[int, List[Tuple[int, int]]] = {}
+        for idx, (source, target) in enumerate(pairs):
+            if not 0 <= source < n or not 0 <= target < n:
+                raise ParameterError(
+                    f"route endpoints ({source}, {target}) out of "
+                    "range")
+            by_target.setdefault(target, []).append((idx, source))
+
+        for target, queries in by_target.items():
+            base = target * k
+            rows = []
+            for i in range(k):
+                pivot = lbl_pivot[base + i]
+                sl = lbl_slot[base + i]
+                rows.append((pivot, sl,
+                             tid_of[pivot] if sl >= 0 else -1))
+            for idx, source in queries:
+                if source == target:
+                    results[idx] = CompiledRoute(
+                        source=source, target=target, path=[source],
+                        weight=0.0, tree_center=None, found_level=-1)
+                    continue
+                # --- Algorithm 1 (find-tree) --------------------------
+                st = members[source].get(target)
+                if st is not None:
+                    center = source
+                    level = -1
+                    tid = tid_of[source]
+                else:
+                    in_trees = slots[source]
+                    for level, (pivot, sl, tid) in enumerate(rows):
+                        if pivot < 0 or sl < 0:
+                            continue
+                        if tid in in_trees or pivot == source:
+                            center = pivot
+                            st = sl
+                            break
+                    else:
+                        raise SchemeError(
+                            f"find-tree failed for {source} -> "
+                            f"{target}; A_{{k-1}} cluster should "
+                            "contain every vertex")
+                # --- in-tree forwarding (Section 6), inlined ----------
+                tree_slots = slots
+                path = [source]
+                current = source
+                cs = slots[source][tid]
+                weight = 0.0
+                lg = t_gentry[st]
+                for _hop in range(hop_budget):
+                    if cs == st:
+                        break
+                    e = t_gentry[cs]
+                    if lg == e:
+                        nxt = local_next(cs, l_local[st])
+                    elif not e <= lg <= t_gexit[cs]:
+                        nxt = t_parent[cs]
+                        if nxt < 0:
+                            raise SchemeError(
+                                f"label {target} escapes tree at root "
+                                f"{current}")
+                    else:
+                        w = t_splitter[cs]
+                        for j in range(l_ge_start[st], l_ge_end[st]):
+                            if ge_psplit[j] == w:
+                                if current == ge_portal[j]:
+                                    nxt = ge_csplit[j]
+                                else:
+                                    nxt = local_next(cs, ge_plab[j])
+                                break
+                        else:
+                            hs = t_hsplit[cs]
+                            if hs < 0:
+                                raise SchemeError(
+                                    f"vertex {current} lacks "
+                                    "heavy-splitter info for label "
+                                    f"{target}")
+                            if current == t_hportal[cs]:
+                                nxt = hs
+                            else:
+                                nxt = local_next(cs, t_hlab[cs])
+                    if nxt is None:
+                        break
+                    sn = tree_slots[nxt][tid]
+                    if t_parent[cs] == nxt:
+                        weight += t_parent_w[cs]
+                    else:
+                        weight += t_parent_w[sn]
+                    path.append(nxt)
+                    current = nxt
+                    cs = sn
+                if current != target:
+                    raise SchemeError(
+                        f"routing {source} -> {target} stopped at "
+                        f"{current}")
+                results[idx] = CompiledRoute(
+                    source=source, target=target, path=path,
+                    weight=weight, tree_center=center,
+                    found_level=level)
+        return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Compiled distance estimation
+# ----------------------------------------------------------------------
+class CompiledEstimation:
+    """Flat-array serve-side artifact of the Theorem-6 sketches."""
+
+    kind = _KIND_ESTIMATION
+
+    _FIELDS = (
+        ("sk_pivot", _INT), ("sk_pivot_d", _FLOAT),
+        ("cv_start", _INT), ("cv_center", _INT), ("cv_value", _FLOAT),
+        ("sketch_words", _INT),
+    )
+
+    def __init__(self, meta: Dict, arrays: Dict[str, list]) -> None:
+        _check_contents(meta, arrays, self._FIELDS)
+        self._meta = dict(meta)
+        self._n = int(meta["n"])
+        self._k = int(meta["k"])
+        for name, _typecode in self._FIELDS:
+            setattr(self, "_" + name, arrays[name])
+        cv_start = self._cv_start
+        cv_center = self._cv_center
+        cv_value = self._cv_value
+        self._cluster_values: List[Dict[int, float]] = [
+            {cv_center[j]: cv_value[j]
+             for j in range(cv_start[v], cv_start[v + 1])}
+            for v in range(self._n)]
+
+    @classmethod
+    def from_estimation(cls, estimation) -> "CompiledEstimation":
+        """Flatten a live :class:`DistanceEstimation`."""
+        n = estimation.graph.num_vertices
+        k = estimation.params.k
+        sk_pivot: List[int] = []
+        sk_pivot_d: List[float] = []
+        cv_start: List[int] = [0]
+        cv_center: List[int] = []
+        cv_value: List[float] = []
+        sketch_words: List[int] = []
+        for v in range(n):
+            sketch = estimation.sketches[v]
+            for pivot, dist in sketch.pivots:
+                sk_pivot.append(-1 if pivot is None else pivot)
+                sk_pivot_d.append(float(dist))
+            for center in sorted(sketch.cluster_values):
+                cv_center.append(center)
+                cv_value.append(float(sketch.cluster_values[center]))
+            cv_start.append(len(cv_center))
+            sketch_words.append(sketch.words)
+        meta = {
+            "n": n,
+            "k": k,
+            "eps": estimation.params.eps,
+            "construction_rounds": estimation.construction_rounds,
+        }
+        arrays = {"sk_pivot": sk_pivot, "sk_pivot_d": sk_pivot_d,
+                  "cv_start": cv_start, "cv_center": cv_center,
+                  "cv_value": cv_value, "sketch_words": sketch_words}
+        return cls(meta, arrays)
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        arrays = [(name, typecode, getattr(self, "_" + name))
+                  for name, typecode in self._FIELDS]
+        _write_artifact(path, self.kind, self._meta, arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CompiledEstimation":
+        kind, meta, arrays = _read_artifact(path)
+        if kind != cls.kind:
+            raise ArtifactError(
+                f"{path}: artifact holds a {kind!r} scheme, not "
+                f"{cls.kind!r}")
+        return cls(meta, arrays)
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def meta(self) -> Dict:
+        return dict(self._meta)
+
+    def max_sketch_words(self) -> int:
+        return max(self._sketch_words)
+
+    def average_sketch_words(self) -> float:
+        return sum(self._sketch_words) / len(self._sketch_words)
+
+    def __repr__(self) -> str:
+        return f"CompiledEstimation(n={self._n}, k={self._k})"
+
+    # -- serving -------------------------------------------------------
+    def estimate(self, u: int, v: int) -> float:
+        """Algorithm 2 (Dist) off the flat sketch rows."""
+        return self.estimate_many([(u, v)])[0]
+
+    def estimate_many(self, pairs: Sequence[Tuple[int, int]]
+                      ) -> List[float]:
+        """Batch Algorithm 2; returns estimates in input order."""
+        n = self._n
+        k = self._k
+        cluster_values = self._cluster_values
+        sk_pivot = self._sk_pivot
+        sk_pivot_d = self._sk_pivot_d
+        out: List[float] = []
+        for u, v in pairs:
+            if not 0 <= u < n or not 0 <= v < n:
+                raise ParameterError(
+                    f"query endpoints ({u}, {v}) out of range")
+            if u == v:
+                out.append(0.0)
+                continue
+            side_u, side_v = u, v
+            i = 0
+            w = u
+            while w not in cluster_values[side_v]:
+                i += 1
+                if i >= k:
+                    raise SchemeError(
+                        f"Dist({u}, {v}) ran out of levels; top-level "
+                        "cluster should span V")
+                side_u, side_v = side_v, side_u
+                w = sk_pivot[side_u * k + i]
+                if w < 0:
+                    raise SchemeError(
+                        f"missing level-{i} pivot in sketch")
+            out.append(sk_pivot_d[side_u * k + i]
+                       + cluster_values[side_v][w])
+        return out
+
+
+# ----------------------------------------------------------------------
+def load_artifact(path: Union[str, Path]
+                  ) -> Union[CompiledScheme, CompiledEstimation]:
+    """Load either artifact kind, dispatching on the header."""
+    kind, meta, arrays = _read_artifact(path)
+    if kind == _KIND_ROUTING:
+        return CompiledScheme(meta, arrays)
+    if kind == _KIND_ESTIMATION:
+        return CompiledEstimation(meta, arrays)
+    raise ArtifactError(f"{path}: unknown artifact kind {kind!r}")

@@ -66,6 +66,7 @@ class DistanceEstimation:
         self.sketches = sketches
         self.ledger = ledger
         self.clusters = clusters
+        self._compiled = None  # lazy CompiledEstimation for batch serving
 
     @property
     def construction_rounds(self) -> int:
@@ -112,6 +113,17 @@ class DistanceEstimation:
         """Just the distance estimate."""
         return self.query(u, v).estimate
 
+    def compile(self):
+        """Flatten into a serve-side :class:`CompiledEstimation`."""
+        from .compiled import CompiledEstimation
+        return CompiledEstimation.from_estimation(self)
+
+    def estimate_many(self, pairs) -> List[float]:
+        """Batch Algorithm 2 via the compiled path (cached compile)."""
+        if self._compiled is None:
+            self._compiled = self.compile()
+        return self._compiled.estimate_many(pairs)
+
     def __repr__(self) -> str:
         return (f"DistanceEstimation(n={self.graph.num_vertices}, "
                 f"k={self.params.k})")
@@ -145,18 +157,26 @@ def build_distance_estimation(graph: WeightedGraph, k: int, seed: int = 0,
                               capacity_words: int = 2,
                               engine: Optional[str] = None
                               ) -> DistanceEstimation:
-    """Build the Theorem-6 sketching scheme end to end."""
-    clusters = build_approx_clusters(graph, k, seed=seed,
-                                     eps_override=eps_override,
-                                     detection_mode=detection_mode,
-                                     capacity_words=capacity_words,
-                                     engine=engine)
-    ledger = CostLedger()
-    ledger.merge(clusters.ledger)
-    sketches = sketches_from_clusters(clusters)
-    return DistanceEstimation(graph=graph, params=clusters.params,
-                              sketches=sketches, ledger=ledger,
-                              clusters=clusters)
+    """Build the Theorem-6 sketching scheme end to end.
+
+    .. deprecated::
+        Thin wrapper over :class:`repro.pipeline.SchemePipeline`; use
+        ``SchemePipeline().graph(g).params(k, ...).build_estimation()``
+        (and ``.compile_estimation()`` for the serve-side artifact).
+    """
+    import warnings
+    warnings.warn(
+        "build_distance_estimation is deprecated; use "
+        "repro.pipeline.SchemePipeline (.build_estimation)",
+        DeprecationWarning, stacklevel=2)
+    from ..pipeline import SchemePipeline
+    return (SchemePipeline()
+            .graph(graph)
+            .params(k, eps=eps_override, detection_mode=detection_mode,
+                    capacity_words=capacity_words)
+            .engine(engine)
+            .seed(seed)
+            .build_estimation())
 
 
 def estimation_from_clusters(graph: WeightedGraph,

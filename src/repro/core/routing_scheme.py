@@ -133,6 +133,7 @@ class RoutingScheme:
         self.labels = labels
         self.ledger = ledger
         self._distance_cache: Dict[int, List[float]] = {}
+        self._compiled = None  # lazy CompiledScheme for the batch path
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +159,28 @@ class RoutingScheme:
         return sum(l.words for l in self.labels.values()) / len(self.labels)
 
     # ------------------------------------------------------------------
+    def compile(self):
+        """Flatten into a serve-side :class:`CompiledScheme` artifact.
+
+        The artifact is graph-detached, serializable via
+        ``save``/``load``, and its routing decisions are bit-identical
+        to this live scheme (see :mod:`repro.core.compiled`).
+        """
+        from .compiled import CompiledScheme
+        return CompiledScheme.from_scheme(self)
+
+    def route_many(self, pairs, max_hops: Optional[int] = None):
+        """Batch-serve ``(source, target)`` pairs via the compiled path.
+
+        Compiles once (cached) and delegates to
+        :meth:`CompiledScheme.route_many`; results carry ``path``,
+        ``weight``, ``tree_center`` and ``found_level`` but no exact
+        distance (use :meth:`route` for single measured packets).
+        """
+        if self._compiled is None:
+            self._compiled = self.compile()
+        return self._compiled.route_many(pairs, max_hops=max_hops)
+
     def find_tree(self, source: int, target_label: VertexLabel
                   ) -> Tuple[int, int]:
         """Algorithm 1: the first level whose pivot tree holds both ends.

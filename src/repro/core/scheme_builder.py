@@ -1,35 +1,27 @@
 """Top-level orchestration: one call builds everything the paper promises.
 
-:func:`construct_scheme` runs the full pipeline — hierarchy, pivots,
-approximate clusters (Theorem 4), distributed tree routing (Theorem 7),
-routing tables/labels (Theorem 5) and sketches (Theorem 6) — sharing the
-cluster computation between the routing scheme and the estimator, and
-returns a report with every measured quantity benchmarks need alongside
-the paper's analytic bounds.
+.. deprecated::
+    :func:`construct_scheme` survives as a thin wrapper over the staged
+    :class:`repro.pipeline.SchemePipeline` facade, which separates the
+    expensive distributed *build* from artifact *compilation* and query
+    *serving*.  New code should use the pipeline directly; this module
+    keeps the legacy kwargs-ball signature (and the
+    :class:`ConstructionReport` it returns) for existing callers,
+    benchmarks, and the differential test suites.
 """
 
 from __future__ import annotations
 
-import math
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..congest.bfs import build_bfs_tree
-from ..congest.metrics import CostLedger
-from ..congest.network import Network
 from ..graphs.weighted_graph import WeightedGraph
-from .approx_clusters import ApproxClusterSystem, build_approx_clusters
-from .distance_estimation import (
-    DistanceEstimation,
-    estimation_from_clusters,
-)
+from .approx_clusters import ApproxClusterSystem
+from .distance_estimation import DistanceEstimation
 from .params import SchemeParams
-from .routing_scheme import (
-    RoutingScheme,
-    _assemble_tables_and_labels,
-)
-from .tree_routing import build_forest_routing
+from .routing_scheme import RoutingScheme
 
 
 @dataclass
@@ -78,55 +70,30 @@ def construct_scheme(graph: WeightedGraph, k: int, seed: int = 0,
                      engine: Optional[str] = None) -> ConstructionReport:
     """Run the full distributed construction and measure it.
 
+    .. deprecated::
+        Thin wrapper over :class:`repro.pipeline.SchemePipeline`; use
+        ``SchemePipeline().graph(g).params(k, ...).seed(s).build()``
+        for the staged lifecycle (and ``.compile()`` for the
+        serve-side artifact).  The measured report is identical.
+
     ``engine`` picks the CONGEST execution backend for every simulated
     phase (see :mod:`repro.congest.engine`); ``None`` means the package
     default (``fast``).
     """
-    clusters = build_approx_clusters(graph, k, seed=seed,
-                                     eps_override=eps_override,
-                                     detection_mode=detection_mode,
-                                     capacity_words=capacity_words,
-                                     engine=engine)
-    ledger = CostLedger()
-    ledger.merge(clusters.ledger)
-
-    network = Network(graph, engine=engine)
-    trees = {center: cluster.tree()
-             for center, cluster in clusters.clusters.items()}
-    forest = build_forest_routing(trees, graph.num_vertices,
-                                  random.Random(seed + 1),
-                                  bfs_tree=clusters.bfs_tree,
-                                  port_of=network.port_of,
-                                  capacity_words=capacity_words,
-                                  engine=engine)
-    ledger.merge(forest.ledger)
-
-    tables, labels = _assemble_tables_and_labels(clusters, forest)
-    if not use_tz_trick:
-        for table in tables.values():
-            table.member_labels.clear()
-    scheme = RoutingScheme(graph=graph, params=clusters.params,
-                           clusters=clusters, forest=forest,
-                           tables=tables, labels=labels, ledger=ledger)
-    estimation = estimation_from_clusters(graph, clusters)
-
-    params = clusters.params
-    report = ConstructionReport(
-        scheme=scheme,
-        estimation=estimation,
-        clusters=clusters,
-        params=params,
-        rounds=ledger.total_rounds,
-        hop_diameter_lower_bound=clusters.bfs_tree.height,
-        max_table_words=scheme.max_table_words(),
-        avg_table_words=scheme.average_table_words(),
-        max_label_words=scheme.max_label_words(),
-        avg_label_words=scheme.average_label_words(),
-        max_sketch_words=estimation.max_sketch_words(),
-        paper_stretch_bound=params.stretch_bound,
-        paper_round_bound=params.round_bound(clusters.bfs_tree.height),
-    )
-    return report
+    warnings.warn(
+        "construct_scheme is deprecated; use "
+        "repro.pipeline.SchemePipeline (.graph/.params/.seed/.build)",
+        DeprecationWarning, stacklevel=2)
+    from ..pipeline import SchemePipeline
+    return (SchemePipeline()
+            .graph(graph)
+            .params(k, eps=eps_override, detection_mode=detection_mode,
+                    capacity_words=capacity_words,
+                    use_tz_trick=use_tz_trick)
+            .engine(engine)
+            .seed(seed)
+            .build()
+            .construction)
 
 
 def sample_pairs(num_vertices: int, count: int,

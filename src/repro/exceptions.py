@@ -45,6 +45,12 @@ class RoutingLoopError(SchemeError):
     (exceeds the hop budget for a single packet)."""
 
 
+class ArtifactError(SchemeError):
+    """Raised when a compiled-scheme artifact is malformed: bad magic,
+    unsupported format version, truncated payload, or the wrong kind
+    (routing vs estimation) for the requested loader."""
+
+
 class HopsetError(ReproError):
     """Raised when a hopset fails validation or is used inconsistently."""
 

@@ -1,0 +1,365 @@
+"""Staged build → compile → serve facade for the whole construction.
+
+The kwargs-ball entry points (``construct_scheme(graph, k, seed, ...)``)
+fused two very different lifecycles: the *expensive, distributed* build
+(Theorems 4/5/6/7) and the *cheap, local* serving of queries.
+:class:`SchemePipeline` separates them into explicit stages:
+
+>>> from repro.pipeline import SchemePipeline
+>>> built = (SchemePipeline()
+...          .workload("grid", n=49)
+...          .params(k=2)
+...          .seed(7)
+...          .build())              # -> BuildReport (measured rounds etc.)
+>>> compiled = built.pipeline.compile()   # -> CompiledScheme artifact
+>>> compiled.save("scheme.cra")           # ship the tables, not the build
+
+Stages may be chained in any order before ``build()``; ``params()`` is
+the only mandatory one.  ``build()`` is cached — ``compile()`` and
+``compile_estimation()`` trigger it on demand.
+
+The legacy entry points (``repro.core.construct_scheme`` and
+``repro.core.build_distance_estimation``) survive as thin deprecated
+wrappers over this facade, so existing callers and the differential /
+property test suites keep passing unchanged.
+
+Workload factories live here too (moved from the CLI), wrapped in
+:class:`WorkloadInstance` so every report carries the *actual* vertex
+count — ``grid``, ``cliques`` and ``star`` round the requested ``n`` to
+their natural shapes, and that rounding used to be silent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .congest.metrics import CostLedger
+from .congest.network import Network
+from .core.approx_clusters import build_approx_clusters
+from .core.compiled import CompiledEstimation, CompiledScheme
+from .core.distance_estimation import (
+    DistanceEstimation,
+    estimation_from_clusters,
+)
+from .core.routing_scheme import RoutingScheme, _assemble_tables_and_labels
+from .core.tree_routing import build_forest_routing
+from .exceptions import ParameterError
+from .graphs.weighted_graph import WeightedGraph
+from .graphs import (
+    grid,
+    random_connected,
+    random_geometric,
+    ring_of_cliques,
+    star_of_paths,
+    weighted_small_world,
+)
+
+#: Workload name -> factory(n, seed).  ``grid``/``cliques``/``star``
+#: round ``n`` to their natural shapes; the actual size is reported via
+#: :class:`WorkloadInstance`.
+WORKLOADS: Dict[str, Callable[[int, int], WeightedGraph]] = {
+    "random": lambda n, seed: random_connected(n, 6.0 / n, seed=seed),
+    "geometric": lambda n, seed: random_geometric(n, seed=seed),
+    "grid": lambda n, seed: grid(max(2, int(n ** 0.5)),
+                                 max(2, int(n ** 0.5)), seed=seed),
+    "cliques": lambda n, seed: ring_of_cliques(max(2, n // 8), 8,
+                                               seed=seed),
+    "star": lambda n, seed: star_of_paths(max(2, n // 10), 10,
+                                          seed=seed),
+    "smallworld": lambda n, seed: weighted_small_world(n, seed=seed),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadInstance:
+    """A generated workload plus the request it (approximately) honours."""
+
+    name: str
+    requested_n: int
+    seed: int
+    graph: WeightedGraph
+
+    @property
+    def num_vertices(self) -> int:
+        """The *actual* vertex count (may differ from ``requested_n``)."""
+        return self.graph.num_vertices
+
+    def describe(self) -> str:
+        line = (f"workload={self.name} n={self.num_vertices} "
+                f"m={self.graph.num_edges}")
+        if self.num_vertices != self.requested_n:
+            line += f" (requested n={self.requested_n})"
+        return line
+
+
+def make_workload(name: str, n: int, seed: int = 0) -> WorkloadInstance:
+    """Instantiate a named workload, recording requested vs actual size."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOADS)}") from None
+    return WorkloadInstance(name=name, requested_n=n, seed=seed,
+                            graph=factory(n, seed))
+
+
+@dataclass
+class BuildReport:
+    """Everything one pipeline build produced and measured.
+
+    Wraps the legacy :class:`ConstructionReport` (kept intact so every
+    measured quantity and paper bound stays available) with the workload
+    provenance the reports used to drop — in particular the *actual*
+    vertex count next to the requested one.
+    """
+
+    workload: str                 #: workload name or "custom"
+    requested_n: Optional[int]    #: None when a graph was supplied
+    construction: "ConstructionReport"
+    pipeline: "SchemePipeline" = field(repr=False)
+
+    # -- passthroughs --------------------------------------------------
+    @property
+    def scheme(self) -> RoutingScheme:
+        return self.construction.scheme
+
+    @property
+    def estimation(self) -> DistanceEstimation:
+        return self.construction.estimation
+
+    @property
+    def params(self):
+        return self.construction.params
+
+    @property
+    def rounds(self) -> int:
+        return self.construction.rounds
+
+    @property
+    def num_vertices(self) -> int:
+        return self.scheme.graph.num_vertices
+
+    def summary(self) -> str:
+        head = f"workload={self.workload} n={self.num_vertices}"
+        if (self.requested_n is not None
+                and self.requested_n != self.num_vertices):
+            head += f" (requested n={self.requested_n})"
+        return head + "\n" + self.construction.summary()
+
+
+class SchemePipeline:
+    """Staged configuration for one build → compile lifecycle.
+
+    Stages return ``self`` so they chain; ``build()`` freezes the
+    configuration and runs the full distributed construction exactly as
+    the legacy ``construct_scheme`` did (same measured report, same
+    seeds, same backends).
+    """
+
+    def __init__(self) -> None:
+        self._workload: Optional[WorkloadInstance] = None
+        self._graph: Optional[WeightedGraph] = None
+        self._graph_name = "custom"
+        self._k: Optional[int] = None
+        self._eps = 0.0
+        self._detection_mode = "rounded"
+        self._capacity_words = 2
+        self._use_tz_trick = True
+        self._engine: Optional[str] = None
+        self._seed = 0
+        self._built: Optional[BuildReport] = None
+        self._estimation: Optional[DistanceEstimation] = None
+        self._compiled: Optional[CompiledScheme] = None
+        self._compiled_estimation: Optional[CompiledEstimation] = None
+
+    # -- stages --------------------------------------------------------
+    def workload(self, name: str, n: int) -> "SchemePipeline":
+        """Generate a named workload of (approximately) ``n`` vertices.
+
+        The graph is materialized at ``build()`` time with the
+        pipeline's seed, mirroring the CLI's historical behaviour of
+        one seed driving both the workload and the construction.
+        """
+        if name not in WORKLOADS:
+            raise ParameterError(
+                f"unknown workload {name!r}; choose from "
+                f"{sorted(WORKLOADS)}")
+        self._graph = None
+        self._graph_name = name
+        self._requested_n = n
+        self._invalidate()
+        return self
+
+    def graph(self, graph: WeightedGraph,
+              name: str = "custom") -> "SchemePipeline":
+        """Use an explicit graph instead of a named workload."""
+        self._graph = graph
+        self._graph_name = name
+        self._invalidate()
+        return self
+
+    def params(self, k: int, eps: float = 0.0,
+               detection_mode: str = "rounded",
+               capacity_words: int = 2,
+               use_tz_trick: bool = True) -> "SchemePipeline":
+        """Scheme parameters (``eps=0`` means the paper's ``1/48k^4``)."""
+        self._k = k
+        self._eps = eps
+        self._detection_mode = detection_mode
+        self._capacity_words = capacity_words
+        self._use_tz_trick = use_tz_trick
+        self._invalidate()
+        return self
+
+    def engine(self, name: Optional[str]) -> "SchemePipeline":
+        """CONGEST execution backend (``None`` = package default)."""
+        self._engine = name
+        self._invalidate()
+        return self
+
+    def seed(self, seed: int) -> "SchemePipeline":
+        """Seed for workload generation and every sampling step."""
+        self._seed = seed
+        self._invalidate()
+        return self
+
+    def _invalidate(self) -> None:
+        self._workload = None
+        self._built = None
+        self._estimation = None
+        self._compiled = None
+        self._compiled_estimation = None
+
+    # -- execution -----------------------------------------------------
+    def _resolve_graph(self) -> WeightedGraph:
+        if self._graph is not None:
+            return self._graph
+        if self._graph_name == "custom":
+            raise ParameterError(
+                "pipeline has no input: call .workload(name, n) or "
+                ".graph(g) before .build()")
+        self._workload = make_workload(self._graph_name,
+                                       self._requested_n, self._seed)
+        return self._workload.graph
+
+    def build(self) -> BuildReport:
+        """Run the full distributed construction and measure it."""
+        if self._built is not None:
+            return self._built
+        if self._k is None:
+            raise ParameterError(
+                "pipeline has no parameters: call .params(k, ...) "
+                "before .build()")
+        graph = self._resolve_graph()
+        construction = _run_construction(
+            graph, k=self._k, seed=self._seed, eps_override=self._eps,
+            detection_mode=self._detection_mode,
+            capacity_words=self._capacity_words,
+            use_tz_trick=self._use_tz_trick, engine=self._engine)
+        requested = (self._workload.requested_n
+                     if self._workload is not None else None)
+        self._built = BuildReport(workload=self._graph_name,
+                                  requested_n=requested,
+                                  construction=construction,
+                                  pipeline=self)
+        return self._built
+
+    def compile(self) -> CompiledScheme:
+        """Build (if needed) and flatten into the serve-side artifact."""
+        if self._compiled is None:
+            self._compiled = self.build().scheme.compile()
+        return self._compiled
+
+    def compile_estimation(self) -> CompiledEstimation:
+        """Build the sketches (if needed) and flatten them.
+
+        Goes through :meth:`build_estimation`, so an estimation-only
+        pipeline never pays for the tree-routing forest.
+        """
+        if self._compiled_estimation is None:
+            self._compiled_estimation = self.build_estimation().compile()
+        return self._compiled_estimation
+
+    def build_estimation(self) -> DistanceEstimation:
+        """Clusters + sketches only (skips the tree-routing forest).
+
+        The cheaper path behind the legacy
+        ``build_distance_estimation``; cached, and reuses a full
+        build's shared cluster computation when one already ran.
+        """
+        if self._built is not None:
+            return self._built.estimation
+        if self._estimation is not None:
+            return self._estimation
+        if self._k is None:
+            raise ParameterError(
+                "pipeline has no parameters: call .params(k, ...) "
+                "before .build_estimation()")
+        graph = self._resolve_graph()
+        clusters = build_approx_clusters(
+            graph, self._k, seed=self._seed, eps_override=self._eps,
+            detection_mode=self._detection_mode,
+            capacity_words=self._capacity_words, engine=self._engine)
+        self._estimation = estimation_from_clusters(graph, clusters)
+        return self._estimation
+
+
+# ----------------------------------------------------------------------
+def _run_construction(graph: WeightedGraph, k: int, seed: int,
+                      eps_override: float, detection_mode: str,
+                      capacity_words: int, use_tz_trick: bool,
+                      engine: Optional[str]) -> "ConstructionReport":
+    """The full pipeline body (hierarchy → clusters → forest → tables).
+
+    This is the implementation the deprecated ``construct_scheme``
+    wrapper delegates to; the measured report is unchanged.
+    """
+    from .core.scheme_builder import ConstructionReport
+
+    clusters = build_approx_clusters(graph, k, seed=seed,
+                                     eps_override=eps_override,
+                                     detection_mode=detection_mode,
+                                     capacity_words=capacity_words,
+                                     engine=engine)
+    ledger = CostLedger()
+    ledger.merge(clusters.ledger)
+
+    network = Network(graph, engine=engine)
+    trees = {center: cluster.tree()
+             for center, cluster in clusters.clusters.items()}
+    forest = build_forest_routing(trees, graph.num_vertices,
+                                  random.Random(seed + 1),
+                                  bfs_tree=clusters.bfs_tree,
+                                  port_of=network.port_of,
+                                  capacity_words=capacity_words,
+                                  engine=engine)
+    ledger.merge(forest.ledger)
+
+    tables, labels = _assemble_tables_and_labels(clusters, forest)
+    if not use_tz_trick:
+        for table in tables.values():
+            table.member_labels.clear()
+    scheme = RoutingScheme(graph=graph, params=clusters.params,
+                           clusters=clusters, forest=forest,
+                           tables=tables, labels=labels, ledger=ledger)
+    estimation = estimation_from_clusters(graph, clusters)
+
+    params = clusters.params
+    return ConstructionReport(
+        scheme=scheme,
+        estimation=estimation,
+        clusters=clusters,
+        params=params,
+        rounds=ledger.total_rounds,
+        hop_diameter_lower_bound=clusters.bfs_tree.height,
+        max_table_words=scheme.max_table_words(),
+        avg_table_words=scheme.average_table_words(),
+        max_label_words=scheme.max_label_words(),
+        avg_label_words=scheme.average_label_words(),
+        max_sketch_words=estimation.max_sketch_words(),
+        paper_stretch_bound=params.stretch_bound,
+        paper_round_bound=params.round_bound(clusters.bfs_tree.height),
+    )

@@ -21,6 +21,10 @@ from repro.congest import (
     available_engines,
     build_bfs_tree,
     make_engine,
+    multi_source_exploration,
+    multi_source_exploration_reference,
+    nearest_source_exploration,
+    nearest_source_exploration_reference,
     resolve_engine_name,
     simulate_flood_rounds,
 )
@@ -223,6 +227,69 @@ class TestDifferentialEquivalence:
                                       engine="reference")
         r_fast = simulate_flood_rounds(network, initial, engine="fast")
         assert r_ref == r_fast
+
+
+class TestExplorationBatchEquivalence:
+    """The batched flat-array Bellman–Ford explorations against their
+    dict-based oracles: every result field must match exactly, on the
+    same seeded graph zoo the engine differential harness uses."""
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=GRAPH_IDS)
+    def test_nearest_source(self, name, graph):
+        n = graph.num_vertices
+        roots = [0, n // 2, n - 1]
+        for iterations in (1, 3, n):
+            ref = nearest_source_exploration_reference(
+                graph, roots, iterations)
+            fast = nearest_source_exploration(graph, roots, iterations)
+            assert fast.dist == ref.dist
+            assert fast.source_of == ref.source_of
+            assert fast.parent == ref.parent
+            assert fast.iterations == ref.iterations
+            assert fast.rounds == ref.rounds
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=GRAPH_IDS)
+    def test_multi_source_unrestricted(self, name, graph):
+        n = graph.num_vertices
+        sources = [0, n // 3, n - 1]
+        ref = multi_source_exploration_reference(
+            graph, sources, n, lambda v, s, d: True)
+        fast = multi_source_exploration(
+            graph, sources, n, lambda v, s, d: True)
+        assert fast.dist == ref.dist
+        assert fast.parent == ref.parent
+        assert fast.iterations == ref.iterations
+        assert fast.rounds == ref.rounds
+        assert fast.max_estimates_per_node == ref.max_estimates_per_node
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=GRAPH_IDS)
+    def test_multi_source_with_join_predicate(self, name, graph):
+        """The cluster-growing shape: radius-bounded join (Eq. 11)."""
+        n = graph.num_vertices
+        sources = list(range(0, n, 3))
+        radius = 2.5 * n
+
+        def join(v, s, d):
+            return d <= radius
+
+        for capacity in (1, 2):
+            ref = multi_source_exploration_reference(
+                graph, sources, n, join, capacity_words=capacity)
+            fast = multi_source_exploration(
+                graph, sources, n, join, capacity_words=capacity)
+            assert fast.dist == ref.dist
+            assert fast.parent == ref.parent
+            assert fast.rounds == ref.rounds
+            assert fast.max_estimates_per_node == \
+                ref.max_estimates_per_node
+
+    def test_bounded_iterations_match(self):
+        graph = random_connected(30, 0.15, seed=77)
+        for t in range(4):
+            ref = nearest_source_exploration_reference(graph, [0, 5], t)
+            fast = nearest_source_exploration(graph, [0, 5], t)
+            assert fast.dist == ref.dist
+            assert fast.iterations == ref.iterations <= t
 
 
 class TestBackendSelection:

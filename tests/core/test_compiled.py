@@ -1,0 +1,263 @@
+"""Compiled-artifact tests: serve-path equivalence and round-trips.
+
+The contract under test (ISSUE 2 acceptance): for every (workload, k,
+seed) case, ``load(save(scheme.compile()))`` produces identical routing
+paths, weights, stretch, and table/label word counts to the live
+:class:`RoutingScheme`; malformed artifacts are rejected with
+:class:`ArtifactError`.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.analysis import evaluate_estimation, evaluate_routing
+from repro.core import sample_pairs
+from repro.core.compiled import (
+    FORMAT_VERSION,
+    MAGIC,
+    CompiledEstimation,
+    CompiledScheme,
+    load_artifact,
+)
+from repro.exceptions import ArtifactError, ParameterError
+from repro.graphs import grid, random_connected, ring_of_cliques
+from repro.pipeline import SchemePipeline
+
+#: (name, graph factory, k) — three workload families as required.
+CASES = [
+    ("random", lambda: random_connected(40, 0.12, seed=3), 3),
+    ("grid", lambda: grid(6, 6, seed=1), 2),
+    ("cliques", lambda: ring_of_cliques(4, 6, seed=4), 3),
+]
+CASE_IDS = [name for name, _f, _k in CASES]
+
+
+def _build(factory, k):
+    return (SchemePipeline().graph(factory()).params(k).seed(5))
+
+
+@pytest.fixture(scope="module")
+def built_cases():
+    return {name: _build(factory, k).build()
+            for name, factory, k in CASES}
+
+
+def _all_pairs(n):
+    return [(u, v) for u in range(n) for v in range(n)]
+
+
+class TestServeEquivalence:
+
+    @pytest.mark.parametrize("name", CASE_IDS)
+    def test_route_many_bit_identical_to_live(self, built_cases, name):
+        scheme = built_cases[name].scheme
+        compiled = scheme.compile()
+        pairs = _all_pairs(scheme.graph.num_vertices)
+        batch = compiled.route_many(pairs)
+        for (u, v), served in zip(pairs, batch):
+            live = scheme.route(u, v)
+            assert served.path == live.path
+            assert served.weight == live.weight
+            assert served.tree_center == live.tree_center
+            assert served.found_level == live.found_level
+
+    @pytest.mark.parametrize("name", CASE_IDS)
+    def test_single_route_matches_batch(self, built_cases, name):
+        compiled = built_cases[name].scheme.compile()
+        n = compiled.num_vertices
+        rng = random.Random(7)
+        pairs = sample_pairs(n, 50, rng)
+        batch = compiled.route_many(pairs)
+        for (u, v), served in zip(pairs, batch):
+            assert compiled.route(u, v) == served
+
+    @pytest.mark.parametrize("name", CASE_IDS)
+    def test_estimate_many_matches_live(self, built_cases, name):
+        estimation = built_cases[name].estimation
+        compiled = estimation.compile()
+        pairs = _all_pairs(estimation.graph.num_vertices)
+        for (u, v), estimate in zip(pairs,
+                                    compiled.estimate_many(pairs)):
+            assert estimation.estimate(u, v) == estimate
+
+    def test_out_of_range_rejected(self, built_cases):
+        compiled = built_cases["grid"].scheme.compile()
+        n = compiled.num_vertices
+        with pytest.raises(ParameterError):
+            compiled.route(0, n)
+        with pytest.raises(ParameterError):
+            compiled.route_many([(0, 1), (-1, 2)])
+        est = built_cases["grid"].estimation.compile()
+        with pytest.raises(ParameterError):
+            est.estimate_many([(0, n)])
+
+    def test_live_scheme_route_many_delegates(self, built_cases):
+        scheme = built_cases["random"].scheme
+        pairs = sample_pairs(scheme.graph.num_vertices, 30,
+                             random.Random(1))
+        for (u, v), served in zip(pairs, scheme.route_many(pairs)):
+            assert served.weight == scheme.route(u, v).weight
+
+    def test_batch_path_preserves_stretch_report(self, built_cases):
+        """evaluate_routing's batch path == the per-call fallback."""
+        built = built_cases["random"]
+        graph = built.scheme.graph
+
+        class _SingleOnly:
+            def __init__(self, scheme):
+                self._scheme = scheme
+
+            def route(self, u, v):
+                return self._scheme.route(u, v)
+
+        batched = evaluate_routing(graph, built.scheme, sample=100,
+                                   seed=3)
+        single = evaluate_routing(graph, _SingleOnly(built.scheme),
+                                  sample=100, seed=3)
+        assert batched == single
+
+
+class TestRoundTrip:
+
+    @pytest.mark.parametrize("name", CASE_IDS)
+    def test_routing_artifact_round_trip(self, built_cases, name,
+                                         tmp_path):
+        built = built_cases[name]
+        scheme = built.scheme
+        compiled = scheme.compile()
+        path = tmp_path / f"{name}.cra"
+        compiled.save(path)
+        loaded = CompiledScheme.load(path)
+        pairs = _all_pairs(scheme.graph.num_vertices)
+        assert loaded.route_many(pairs) == compiled.route_many(pairs)
+        # word counts survive the trip and match the live scheme
+        assert loaded.max_table_words() == scheme.max_table_words()
+        assert loaded.average_table_words() == \
+            scheme.average_table_words()
+        assert loaded.max_label_words() == scheme.max_label_words()
+        assert loaded.average_label_words() == \
+            scheme.average_label_words()
+        # measured stretch is identical through the loaded artifact
+        live = evaluate_routing(scheme.graph, scheme, sample=150, seed=9)
+        served = evaluate_routing(scheme.graph, loaded, sample=150,
+                                  seed=9)
+        assert served == live
+        assert loaded.meta["construction_rounds"] == \
+            scheme.construction_rounds
+
+    @pytest.mark.parametrize("name", CASE_IDS)
+    def test_estimation_artifact_round_trip(self, built_cases, name,
+                                            tmp_path):
+        built = built_cases[name]
+        estimation = built.estimation
+        compiled = estimation.compile()
+        path = tmp_path / f"{name}.cre"
+        compiled.save(path)
+        loaded = CompiledEstimation.load(path)
+        pairs = _all_pairs(estimation.graph.num_vertices)
+        assert loaded.estimate_many(pairs) == \
+            compiled.estimate_many(pairs)
+        assert loaded.max_sketch_words() == \
+            estimation.max_sketch_words()
+        live = evaluate_estimation(estimation.graph, estimation,
+                                   sample=150, seed=9)
+        served = evaluate_estimation(estimation.graph, loaded,
+                                     sample=150, seed=9)
+        assert served == live
+
+    def test_load_artifact_dispatches_on_kind(self, built_cases,
+                                              tmp_path):
+        built = built_cases["grid"]
+        r_path = tmp_path / "scheme.cra"
+        e_path = tmp_path / "est.cra"
+        built.scheme.compile().save(r_path)
+        built.estimation.compile().save(e_path)
+        assert isinstance(load_artifact(r_path), CompiledScheme)
+        assert isinstance(load_artifact(e_path), CompiledEstimation)
+
+    def test_wrong_kind_rejected(self, built_cases, tmp_path):
+        built = built_cases["grid"]
+        path = tmp_path / "est.cra"
+        built.estimation.compile().save(path)
+        with pytest.raises(ArtifactError):
+            CompiledScheme.load(path)
+        path2 = tmp_path / "scheme.cra"
+        built.scheme.compile().save(path2)
+        with pytest.raises(ArtifactError):
+            CompiledEstimation.load(path2)
+
+
+class TestCorruptionRejection:
+
+    @pytest.fixture()
+    def artifact_bytes(self, built_cases, tmp_path):
+        path = tmp_path / "scheme.cra"
+        built_cases["grid"].scheme.compile().save(path)
+        return path, path.read_bytes()
+
+    def test_bad_magic(self, artifact_bytes, tmp_path):
+        _path, data = artifact_bytes
+        bad = tmp_path / "bad_magic.cra"
+        bad.write_bytes(b"XXXX" + data[4:])
+        with pytest.raises(ArtifactError, match="magic"):
+            load_artifact(bad)
+
+    def test_wrong_version(self, artifact_bytes, tmp_path):
+        _path, data = artifact_bytes
+        bad = tmp_path / "bad_version.cra"
+        bad.write_bytes(MAGIC + struct.pack("<I", FORMAT_VERSION + 1)
+                        + data[8:])
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(bad)
+
+    def test_truncated_payload(self, artifact_bytes, tmp_path):
+        _path, data = artifact_bytes
+        bad = tmp_path / "truncated.cra"
+        bad.write_bytes(data[:len(data) - 64])
+        with pytest.raises(ArtifactError, match="truncat"):
+            load_artifact(bad)
+
+    def test_trailing_garbage(self, artifact_bytes, tmp_path):
+        _path, data = artifact_bytes
+        bad = tmp_path / "trailing.cra"
+        bad.write_bytes(data + b"\x00" * 16)
+        with pytest.raises(ArtifactError, match="trailing"):
+            load_artifact(bad)
+
+    def test_not_an_artifact(self, tmp_path):
+        bogus = tmp_path / "bogus.cra"
+        bogus.write_bytes(b"hello")
+        with pytest.raises(ArtifactError):
+            load_artifact(bogus)
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        """A well-framed file whose manifest lies about content."""
+        from repro.core.compiled import _write_artifact
+        hollow = tmp_path / "hollow.cra"
+        _write_artifact(hollow, "routing", {"n": 4, "k": 2},
+                        [["bogus", "q", []]])
+        with pytest.raises(ArtifactError, match="missing required"):
+            load_artifact(hollow)
+        _write_artifact(hollow, "estimation", {"n": 4, "k": 2},
+                        [["bogus", "q", []]])
+        with pytest.raises(ArtifactError, match="missing required"):
+            load_artifact(hollow)
+
+    def test_metadata_without_nk_rejected(self, tmp_path, built_cases):
+        from repro.core.compiled import (
+            CompiledScheme as CS,
+            _read_artifact,
+            _write_artifact,
+        )
+        path = tmp_path / "scheme.cra"
+        built_cases["grid"].scheme.compile().save(path)
+        kind, meta, arrays = _read_artifact(path)
+        meta.pop("n")
+        bad = tmp_path / "no_n.cra"
+        _write_artifact(bad, kind, meta,
+                        [(name, tc, arrays[name])
+                         for name, tc in CS._FIELDS])
+        with pytest.raises(ArtifactError, match="metadata"):
+            load_artifact(bad)

@@ -69,3 +69,77 @@ class TestCommands:
         assert main(["build", "--graph", "grid", "--n", "25",
                      "--k", "2"]) == 0
         assert "rounds measured" in capsys.readouterr().out
+
+    def test_build_echoes_actual_n(self, capsys):
+        assert main(["build", "--graph", "grid", "--n", "50",
+                     "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "n=49" in out
+        assert "requested n=50" in out
+
+
+class TestBuildServeSplit:
+    """build --out writes an artifact; query serves it back without
+    reconstruction (the lifecycle the PR introduces)."""
+
+    def test_build_out_then_query_pairs_file(self, capsys, tmp_path):
+        artifact = tmp_path / "scheme.cra"
+        assert main(["build", "--n", "30", "--k", "2", "--seed", "3",
+                     "--out", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled artifact" in out
+        assert artifact.exists()
+
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 7\n3 12  # a comment\n\n5 5\n")
+        assert main(["query", str(artifact),
+                     "--pairs-file", str(pairs)]) == 0
+        out = capsys.readouterr().out
+        assert "kind=routing" in out
+        assert "route    0 -> 7" in out
+        assert "served 3 queries" in out
+
+    def test_query_pair_flags(self, capsys, tmp_path):
+        artifact = tmp_path / "scheme.cra"
+        assert main(["build", "--n", "30", "--k", "2", "--seed", "3",
+                     "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(artifact), "--pair", "0", "7",
+                     "--pair", "9", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 2 queries" in out
+
+    def test_query_matches_freshly_built_scheme(self, capsys,
+                                                tmp_path):
+        """A fresh process pays no construction and routes the same
+        path the builder's live scheme routed."""
+        artifact = tmp_path / "scheme.cra"
+        assert main(["build", "--n", "30", "--k", "2", "--seed", "3",
+                     "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["route", "--n", "30", "--k", "2", "--seed", "3",
+                     "--source", "0", "--target", "7"]) == 0
+        live_out = capsys.readouterr().out
+        live_path = [line for line in live_out.splitlines()
+                     if "path" in line][0].split(":", 1)[1].strip()
+        assert main(["query", str(artifact), "--pair", "0", "7"]) == 0
+        query_out = capsys.readouterr().out
+        assert live_path.split(" -> ")[1] in query_out
+
+    def test_estimate_out_then_query(self, capsys, tmp_path):
+        artifact = tmp_path / "est.cra"
+        assert main(["estimate", "--n", "30", "--k", "2", "--seed",
+                     "3", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(artifact), "--pair", "0", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "kind=estimation" in out
+        assert "dist(0,7)" in out
+
+    def test_query_rejects_garbage_file(self, tmp_path):
+        import pytest
+        from repro.exceptions import ArtifactError
+        bogus = tmp_path / "bogus.cra"
+        bogus.write_bytes(b"not an artifact")
+        with pytest.raises(ArtifactError):
+            main(["query", str(bogus), "--pair", "0", "1"])

@@ -1,0 +1,143 @@
+"""Tests for the staged SchemePipeline facade and workload provenance."""
+
+import pytest
+
+from repro.core import build_distance_estimation, construct_scheme
+from repro.exceptions import ParameterError
+from repro.graphs import random_connected
+from repro.pipeline import (
+    WORKLOADS,
+    BuildReport,
+    SchemePipeline,
+    make_workload,
+)
+
+
+class TestStagedConfiguration:
+
+    def test_params_required(self):
+        with pytest.raises(ParameterError, match="params"):
+            SchemePipeline().workload("random", 20).build()
+
+    def test_input_required(self):
+        with pytest.raises(ParameterError, match="workload"):
+            SchemePipeline().params(2).build()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ParameterError, match="unknown workload"):
+            SchemePipeline().workload("mystery", 20)
+
+    def test_stages_chain_in_any_order(self):
+        built = (SchemePipeline().seed(3).params(2).engine(None)
+                 .workload("random", 24).build())
+        assert isinstance(built, BuildReport)
+        assert built.rounds > 0
+
+    def test_build_is_cached(self):
+        pipeline = (SchemePipeline().workload("random", 24)
+                    .params(2).seed(1))
+        assert pipeline.build() is pipeline.build()
+
+    def test_stage_change_invalidates_cache(self):
+        pipeline = (SchemePipeline().workload("random", 24)
+                    .params(2).seed(1))
+        first = pipeline.build()
+        second = pipeline.seed(2).build()
+        assert first is not second
+
+    def test_compile_builds_on_demand(self):
+        pipeline = (SchemePipeline().workload("random", 24)
+                    .params(2).seed(1))
+        compiled = pipeline.compile()
+        assert compiled.num_vertices == pipeline.build().num_vertices
+        assert pipeline.compile() is compiled
+
+    def test_estimation_path_skips_full_build(self):
+        pipeline = (SchemePipeline().workload("random", 24)
+                    .params(2).seed(1))
+        est = pipeline.build_estimation()
+        assert pipeline.build_estimation() is est  # cached
+        compiled = pipeline.compile_estimation()
+        assert pipeline._built is None  # forest never constructed
+        assert compiled.max_sketch_words() == est.max_sketch_words()
+
+    def test_full_build_shares_estimation(self):
+        pipeline = (SchemePipeline().workload("random", 24)
+                    .params(2).seed(1))
+        built = pipeline.build()
+        assert pipeline.build_estimation() is built.estimation
+
+
+class TestLegacyWrappers:
+
+    def test_construct_scheme_deprecated_but_equivalent(self):
+        graph = random_connected(30, 0.12, seed=2)
+        with pytest.deprecated_call():
+            legacy = construct_scheme(graph, k=2, seed=4)
+        staged = (SchemePipeline().graph(graph).params(2).seed(4)
+                  .build().construction)
+        assert legacy.rounds == staged.rounds
+        assert legacy.max_table_words == staged.max_table_words
+        assert legacy.max_label_words == staged.max_label_words
+        pairs = [(0, 17), (5, 23), (29, 3)]
+        for (u, v) in pairs:
+            assert legacy.scheme.route(u, v).path == \
+                staged.scheme.route(u, v).path
+
+    def test_build_distance_estimation_deprecated_but_equivalent(self):
+        graph = random_connected(30, 0.12, seed=2)
+        with pytest.deprecated_call():
+            legacy = build_distance_estimation(graph, k=2, seed=4)
+        staged = (SchemePipeline().graph(graph).params(2).seed(4)
+                  .build_estimation())
+        assert legacy.construction_rounds == staged.construction_rounds
+        assert legacy.max_sketch_words() == staged.max_sketch_words()
+        for (u, v) in [(0, 17), (5, 23), (29, 3)]:
+            assert legacy.estimate(u, v) == staged.estimate(u, v)
+
+
+class TestWorkloadProvenance:
+    """The grid/cliques/star factories round ``n``; the rounding must be
+    visible, not silent (ISSUE 2 satellite)."""
+
+    def test_all_workloads_report_actual_n(self):
+        for name in WORKLOADS:
+            instance = make_workload(name, 40, seed=1)
+            assert instance.num_vertices == \
+                instance.graph.num_vertices
+            assert instance.requested_n == 40
+            assert instance.graph.is_connected(), name
+
+    @pytest.mark.parametrize("name,requested,actual", [
+        ("grid", 50, 49),        # 7x7
+        ("cliques", 20, 16),     # 2 cliques of 8
+        ("star", 25, 21),        # 2 arms of 10 + hub
+    ])
+    def test_rounding_families_expose_mismatch(self, name, requested,
+                                               actual):
+        instance = make_workload(name, requested, seed=1)
+        assert instance.num_vertices == actual != requested
+        assert f"requested n={requested}" in instance.describe()
+        assert f"n={actual}" in instance.describe()
+
+    def test_build_report_carries_requested_and_actual(self):
+        built = (SchemePipeline().workload("grid", 50).params(2)
+                 .seed(1).build())
+        assert built.requested_n == 50
+        assert built.num_vertices == 49
+        assert "requested n=50" in built.summary()
+        assert "n=49" in built.summary()
+
+    def test_exact_sizes_not_flagged(self):
+        instance = make_workload("grid", 49, seed=1)
+        assert instance.num_vertices == 49
+        assert "requested" not in instance.describe()
+        built = (SchemePipeline().workload("random", 24).params(2)
+                 .seed(1).build())
+        assert "requested" not in built.summary()
+
+    def test_custom_graph_has_no_requested_n(self):
+        graph = random_connected(20, 0.2, seed=1)
+        built = SchemePipeline().graph(graph).params(2).build()
+        assert built.requested_n is None
+        assert built.workload == "custom"
