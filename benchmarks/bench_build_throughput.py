@@ -1,0 +1,232 @@
+"""[E8] Build-side throughput: vectorized construction vs its oracles.
+
+Phase-by-phase wall-clock of ``SchemePipeline.build()``'s hot path
+after the CSR/scatter-min rewrite (PR 3):
+
+* **source-detection** — batched ``|V'| × n`` matrix advance
+  (:func:`repro.sketches.detect_sources`) against the per-source,
+  per-scale oracle (``detect_sources_reference``), in both execution
+  modes.  Results are asserted bit-identical on every run — the speedup
+  is never allowed to change semantics.
+* **tree-construction** — flat one-pass forest construction
+  (:func:`repro.core.build_forest_routing`) against the per-splitter
+  subtree oracle (``build_forest_routing_reference``), on the actual
+  cluster forest of a real build.
+* **pipeline** — end-to-end ``SchemePipeline.build()`` wall-clock per
+  detection mode, so the record tracks what the whole construction
+  costs after the phases above.
+
+Emits a JSON record (``benchmarks/results/build_throughput.json``) so
+future PRs can track the trajectory.  The pytest-mode entry point
+asserts the acceptance floor: >= 3x on rounded-mode source detection
+with the numpy path.
+
+Usage::
+
+    python benchmarks/bench_build_throughput.py             # defaults
+    python benchmarks/bench_build_throughput.py --n 64 \
+        --repeats 1 --out /tmp/build_throughput.json        # CI smoke
+"""
+
+import argparse
+import json
+import math
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.congest import Network
+from repro.core import (
+    build_approx_clusters,
+    build_forest_routing,
+    build_forest_routing_reference,
+)
+from repro.graphs import random_connected
+from repro.graphs.csr import HAVE_NUMPY
+from repro.pipeline import SchemePipeline
+from repro.sketches import detect_sources, detect_sources_reference
+
+#: Acceptance floor for the rounded-mode detection phase (numpy path).
+REQUIRED_DETECTION_SPEEDUP = 3.0
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_detection_identical(fast, ref):
+    assert fast.sources == ref.sources
+    assert fast.estimate == ref.estimate
+    assert fast.parent == ref.parent
+    assert fast.rounds == ref.rounds
+
+
+def _assert_forest_identical(fast, ref):
+    assert fast.rounds == ref.rounds
+    assert set(fast.schemes) == set(ref.schemes)
+    for tid, ref_scheme in ref.schemes.items():
+        fast_scheme = fast.schemes[tid]
+        assert fast_scheme.tables == ref_scheme.tables, tid
+        assert fast_scheme.labels == ref_scheme.labels, tid
+
+
+def _detection_phases(graph, repeats, density):
+    """Time both detection implementations per mode; assert identity.
+
+    ``density`` labels the workload: the reference pays a Python
+    closure call per relaxed edge, so the vectorized win grows with
+    average degree — both the sparse baseline and the denser
+    serve-scale workload are recorded.
+    """
+    n = graph.num_vertices
+    sources = list(range(0, n, max(1, n // 40)))
+    hop_bound = min(n - 1, math.ceil(4 * math.sqrt(n) * math.log(max(n, 2))))
+    phases = []
+    for mode in ("rounded", "exact"):
+        t_ref, ref = _best_of(repeats, lambda: detect_sources_reference(
+            graph, sources, hop_bound, 0.25, mode=mode))
+        t_fast, fast = _best_of(repeats, lambda: detect_sources(
+            graph, sources, hop_bound, 0.25, mode=mode))
+        _assert_detection_identical(fast, ref)
+        phases.append({
+            "phase": f"source-detection/{mode}/{density}",
+            "m": graph.num_edges,
+            "sources": len(sources),
+            "hop_bound": hop_bound,
+            "reference_seconds": round(t_ref, 6),
+            "fast_seconds": round(t_fast, 6),
+            "speedup": round(t_ref / t_fast, 3),
+        })
+    return phases
+
+
+def _tree_phase(graph, repeats, seed=1):
+    """Time both forest constructions on a real cluster forest."""
+    clusters = build_approx_clusters(graph, k=3, seed=seed,
+                                     detection_mode="exact")
+    trees = {c: cl.tree() for c, cl in clusters.clusters.items()}
+    network = Network(graph)
+    n = graph.num_vertices
+
+    def run(builder):
+        return builder(trees, n, random.Random(seed + 1),
+                       bfs_tree=clusters.bfs_tree,
+                       port_of=network.port_of)
+
+    t_ref, ref = _best_of(repeats,
+                          lambda: run(build_forest_routing_reference))
+    t_fast, fast = _best_of(repeats, lambda: run(build_forest_routing))
+    _assert_forest_identical(fast, ref)
+    return {
+        "phase": "tree-construction",
+        "num_trees": len(trees),
+        "reference_seconds": round(t_ref, 6),
+        "fast_seconds": round(t_fast, 6),
+        "speedup": round(t_ref / t_fast, 3),
+    }
+
+
+def _pipeline_phases(n, repeats, seed=1):
+    """End-to-end build wall-clock per detection mode."""
+    out = []
+    for mode in ("exact", "rounded"):
+        def run():
+            return (SchemePipeline().workload("random", n=n)
+                    .params(k=3, detection_mode=mode).seed(seed).build())
+
+        t_build, report = _best_of(repeats, run)
+        out.append({
+            "phase": f"pipeline-build/{mode}",
+            "k": 3,
+            "rounds": report.rounds,
+            "build_seconds": round(t_build, 6),
+        })
+    return out
+
+
+def collect_record(n=400, repeats=2):
+    graph = random_connected(n, 6.0 / n, seed=2000 + n)
+    dense = random_connected(n, 10.0 / n, seed=2000 + n)
+    phases = _detection_phases(graph, repeats, "deg6")
+    phases.extend(_detection_phases(dense, repeats, "deg10"))
+    phases.append(_tree_phase(graph, repeats))
+    phases.extend(_pipeline_phases(n, repeats))
+    return {
+        "benchmark": "build_throughput",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": HAVE_NUMPY,
+        "n": n,
+        "m": graph.num_edges,
+        "repeats": repeats,
+        "phases": phases,
+    }
+
+
+def _print_record(record):
+    for phase in record["phases"]:
+        name = phase["phase"]
+        if "speedup" in phase:
+            print(f"[E8] {name:<26} n={record['n']:<5} "
+                  f"ref={phase['reference_seconds'] * 1000:9.2f}ms "
+                  f"fast={phase['fast_seconds'] * 1000:9.2f}ms "
+                  f"speedup={phase['speedup']:6.2f}x")
+        else:
+            print(f"[E8] {name:<26} n={record['n']:<5} "
+                  f"build={phase['build_seconds'] * 1000:9.2f}ms "
+                  f"rounds={phase['rounds']}")
+
+
+def _detection_speedup(record):
+    return max(p["speedup"] for p in record["phases"]
+               if p["phase"].startswith("source-detection/rounded"))
+
+
+@pytest.mark.artifact("E8")
+def bench_build_throughput(benchmark):
+    """Batched build phases agree bit-for-bit; detection wins >= 3x."""
+    record = benchmark.pedantic(lambda: collect_record(n=400, repeats=2),
+                                rounds=1, iterations=1)
+    print()
+    _print_record(record)
+    if HAVE_NUMPY:
+        speedup = _detection_speedup(record)
+        assert speedup >= REQUIRED_DETECTION_SPEEDUP, (
+            f"rounded detection speedup {speedup:.2f}x below "
+            f"{REQUIRED_DETECTION_SPEEDUP}x")
+    # everything else only guards against gross regressions
+    assert all(p["speedup"] >= 0.5 for p in record["phases"]
+               if "speedup" in p)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n", type=int, default=400,
+                        help="workload size (default mirrors the "
+                             "committed record)")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "results"
+                        / "build_throughput.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+    record = collect_record(n=args.n, repeats=args.repeats)
+    _print_record(record)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[E8] record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

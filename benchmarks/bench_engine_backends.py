@@ -64,8 +64,10 @@ class _BFSFlood(NodeProgram):
                 improved = True
         if not improved:
             return []
-        return [(v, Message("bfs", (ctx.state["depth"],)))
-                for v in ctx.neighbors]
+        # shared frozen Message across targets (program-bound regimes
+        # otherwise spend their time in dataclass construction)
+        announce = Message("bfs", (ctx.state["depth"],))
+        return [(v, announce) for v in ctx.neighbors]
 
 
 class _Gossip(NodeProgram):
@@ -77,20 +79,23 @@ class _Gossip(NodeProgram):
         out = []
         for item in self._tokens.get(ctx.node, []):
             ctx.state["seen"].add(item)
+            message = Message("tok", item)
             for v in ctx.neighbors:
-                out.append((v, Message("tok", item)))
+                out.append((v, message))
         return out
 
     def on_round(self, ctx, inbox):
         out = []
+        seen = ctx.state["seen"]
         for sender, message in inbox:
             item = message.payload
-            if item in ctx.state["seen"]:
+            if item in seen:
                 continue
-            ctx.state["seen"].add(item)
+            seen.add(item)
+            # forward the frozen Message itself instead of re-building it
             for v in ctx.neighbors:
                 if v != sender:
-                    out.append((v, Message("tok", item)))
+                    out.append((v, message))
         return out
 
 

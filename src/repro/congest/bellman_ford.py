@@ -48,33 +48,52 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..graphs import csr as _csr
+from ..graphs.csr import csr_view, frontier_neighbors, relax_frontier
 from ..graphs.shortest_paths import INF
 from ..graphs.virtual_graph import VirtualGraph
 from ..graphs.weighted_graph import WeightedGraph
 from .bfs import BFSTree
 from .metrics import congestion_rounds, pipelined_rounds
 
-#: join(vertex, source, candidate_distance) -> bool
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: join(vertex, source, candidate_distance) -> bool.  Models the local
+#: decision rule a vertex applies on receiving an estimate, so it MUST
+#: be a pure function of its arguments: it is evaluated once per
+#: improving (vertex, source) winner, but the order of those calls
+#: across pairs is an implementation detail that differs between the
+#: execution paths (the differential guarantees below are stated for
+#: pure predicates, which is all the paper's join rules are).
 JoinPredicate = Callable[[int, int, float], bool]
 
 #: Words per (source, distance) estimate on the wire.
 _ESTIMATE_WORDS = 2
 
+#: Ceiling on ``|sources| * n`` cells before the dense per-source rows
+#: of the kernel-based multi-source path stop being worth their memory.
+_DENSE_CELL_LIMIT = 1 << 22
+
 
 def _flat_adjacency(graph: WeightedGraph
                     ) -> Tuple[List[int], List[int], List[int]]:
-    """CSR adjacency ``(starts, neighbors, weights)`` in the graph's
-    neighbor order (the same order the dict-based loops visit)."""
-    n = graph.num_vertices
-    starts = [0] * (n + 1)
-    neighbors: List[int] = []
-    weights: List[int] = []
-    for u in range(n):
-        for v, w in graph.neighbor_weights(u):
-            neighbors.append(v)
-            weights.append(w)
-        starts[u + 1] = len(neighbors)
-    return starts, neighbors, weights
+    """CSR adjacency ``(starts, neighbors, weights)`` as plain lists.
+
+    Served from the graph's cached :func:`csr_view` (same neighbor
+    order by that view's contract); numpy-backed views are converted to
+    lists because the scalar exploration loops below index them far
+    faster than numpy arrays.
+    """
+    view = csr_view(graph)
+    if view.vectorized:
+        return (view.indptr.tolist(), view.indices.tolist(),
+                view.weights.tolist())
+    # fresh copies: the view's lists are the live cache and callers own
+    # the old contract's private arrays
+    return list(view.indptr), list(view.indices), list(view.weights)
 
 
 @dataclass
@@ -301,13 +320,107 @@ def multi_source_exploration(graph: WeightedGraph,
     — the paper's congestion argument (Claim 2 bounds the number of live
     estimates per node by ``Õ(n^{1/k})`` w.h.p.).
 
-    Batched implementation: relaxations walk a materialized adjacency
-    snapshot (with a fast path for the common one-live-estimate relay);
-    per-target candidate buckets live in a flat array indexed by vertex
-    and reset via a touched list (no ``setdefault`` churn); frontiers
-    are sorted ``(vertex, sources)`` lists.  Result-identical to
-    :func:`multi_source_exploration_reference`.
+    Two batched implementations sit behind this name, both
+    result-identical to :func:`multi_source_exploration_reference`:
+
+    * with numpy (and affordable ``|sources| × n`` memory), per-source
+      dense distance rows advanced by the shared scatter-min kernel of
+      :mod:`repro.graphs.csr` — the same kernel the batched source
+      detection uses — replacing the per-(vertex, source) candidate
+      bucket bookkeeping entirely;
+    * otherwise, flat candidate buckets over an adjacency snapshot (the
+      PR-2 path, kept as the universal fallback).
     """
+    n = graph.num_vertices
+    if _csr.HAVE_NUMPY and n > 0 and sources \
+            and len(set(sources)) * n <= _DENSE_CELL_LIMIT:
+        view = csr_view(graph)
+        if view.vectorized:
+            return _multi_source_dense(view, graph, sources, iterations,
+                                       join, capacity_words)
+    return _multi_source_bucketed(graph, sources, iterations, join,
+                                  capacity_words)
+
+
+def _multi_source_dense(view, graph: WeightedGraph,
+                        sources: Sequence[int], iterations: int,
+                        join: JoinPredicate,
+                        capacity_words: int) -> ExplorationResult:
+    """Kernel-based path: one dense distance row per source.
+
+    Per iteration each live source row is advanced one scatter-min hop
+    from its own (ascending) frontier; the strictly-improving winners
+    the kernel returns are exactly the reference's bucket winners, with
+    the same "first strict minimum" parent tie-break, so the join
+    predicate sees the same (vertex, source, distance) candidates.
+    (The *order* of join calls across pairs is source-major here and
+    target-major in the reference — indistinguishable for the pure
+    predicates the contract requires.)  Congestion is still charged
+    from the per-vertex live-update counts, and the max-estimates
+    statistic samples the frontier's out-neighborhood — the same
+    vertices whose buckets the reference inspects.
+    """
+    n = graph.num_vertices
+    dist: List[Dict[int, float]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+    rows: Dict[int, object] = {}
+    initial: Dict[int, List[int]] = {}
+    for s in sources:
+        if s not in rows:
+            row = _np.full(n, INF)
+            row[s] = 0.0
+            rows[s] = row
+        dist[s][s] = 0.0
+        parent[s][s] = None
+        initial.setdefault(s, []).append(s)
+    frontier: List[Tuple[int, List[int]]] = sorted(initial.items())
+    per_iter_words: List[int] = []
+    executed = 0
+    max_live = 0
+    for _ in range(iterations):
+        if not frontier:
+            break
+        executed += 1
+        congestion = max(len(srcs) for _u, srcs in frontier)
+        per_iter_words.append(congestion * _ESTIMATE_WORDS)
+        by_source: Dict[int, List[int]] = {}
+        for u, updated_sources in frontier:   # ascending u keeps the
+            for s in updated_sources:         # per-source frontiers sorted
+                by_source.setdefault(s, []).append(u)
+        sampled = frontier_neighbors(view, [u for u, _s in frontier])
+        changed_of: Dict[int, List[int]] = {}
+        for s in sorted(by_source):
+            row = rows[s]
+            targets, dists, vias = relax_frontier(view, row,
+                                                  by_source[s])
+            for t, nd, via in zip(targets, dists, vias):
+                t = int(t)
+                nd = float(nd)
+                if join(t, s, nd):
+                    row[t] = nd
+                    dist[t][s] = nd
+                    parent[t][s] = int(via)
+                    changed_of.setdefault(t, []).append(s)
+        frontier = sorted(changed_of.items())
+        for v in sampled:
+            live = len(dist[v])
+            if live > max_live:
+                max_live = live
+    rounds = congestion_rounds(per_iter_words, capacity_words)
+    return ExplorationResult(dist=dist, parent=parent, iterations=executed,
+                             rounds=rounds,
+                             max_estimates_per_node=max_live)
+
+
+def _multi_source_bucketed(graph: WeightedGraph,
+                           sources: Sequence[int],
+                           iterations: int,
+                           join: JoinPredicate,
+                           capacity_words: int = 2
+                           ) -> ExplorationResult:
+    """Flat candidate buckets over an adjacency snapshot (the fallback
+    batched path): a fast path for the common one-live-estimate relay,
+    per-target buckets reset via a touched list, sorted frontiers."""
     n = graph.num_vertices
     adjacency = [list(graph.neighbor_weights(u)) for u in range(n)]
     dist: List[Dict[int, float]] = [dict() for _ in range(n)]

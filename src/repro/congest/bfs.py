@@ -57,7 +57,8 @@ class _BFSProgram(NodeProgram):
         if ctx.node == self._root:
             ctx.state["depth"] = 0
             ctx.state["parent"] = None
-            return [(v, Message("bfs", (0,))) for v in ctx.neighbors]
+            message = Message("bfs", (0,))
+            return [(v, message) for v in ctx.neighbors]
         ctx.state["depth"] = None
         ctx.state["parent"] = None
         return []
@@ -80,8 +81,11 @@ class _BFSProgram(NodeProgram):
         ctx.state["parent"] = best_parent
         if not improved:
             return []
-        return [(v, Message("bfs", (best_depth,))) for v in ctx.neighbors
-                if v != best_parent]
+        # one immutable Message shared across all targets: the engines
+        # never key on identity, and re-announcing the same depth to
+        # every neighbor otherwise pays one dataclass construction each
+        message = Message("bfs", (best_depth,))
+        return [(v, message) for v in ctx.neighbors if v != best_parent]
 
 
 def build_bfs_tree(network: Network, root: int = 0,

@@ -69,21 +69,26 @@ class _GossipProgram(NodeProgram):
         out: List[Outgoing] = []
         for item in self._initial.get(ctx.node, []):
             ctx.state["seen"].add(item)
+            # one immutable Message per item, shared across all targets
+            message = Message("gossip", item)
             for v in ctx.neighbors:
-                out.append((v, Message("gossip", item)))
+                out.append((v, message))
         return out
 
     def on_round(self, ctx: NodeContext,
                  inbox: List[Tuple[int, Message]]) -> List[Outgoing]:
         out: List[Outgoing] = []
+        seen = ctx.state["seen"]
         for sender, message in inbox:
             item = message.payload
-            if item in ctx.state["seen"]:
+            if item in seen:
                 continue
-            ctx.state["seen"].add(item)
+            seen.add(item)
+            # forward the received Message object itself — it is frozen,
+            # so fan-out costs list appends, not dataclass constructions
             for v in ctx.neighbors:
                 if v != sender:
-                    out.append((v, Message("gossip", item)))
+                    out.append((v, message))
         return out
 
 

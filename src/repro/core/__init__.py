@@ -22,7 +22,9 @@ from .tree_routing import (
     DistributedTreeRouting,
     ForestRoutingReport,
     build_distributed_tree_routing,
+    build_distributed_tree_routing_reference,
     build_forest_routing,
+    build_forest_routing_reference,
     sample_splitters,
 )
 from .routing_scheme import (
@@ -67,7 +69,9 @@ __all__ = [
     "DistributedTreeRouting",
     "ForestRoutingReport",
     "build_distributed_tree_routing",
+    "build_distributed_tree_routing_reference",
     "build_forest_routing",
+    "build_forest_routing_reference",
     "sample_splitters",
     "RouteResult",
     "RoutingScheme",

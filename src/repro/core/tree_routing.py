@@ -103,10 +103,22 @@ class DistTreeLabel:
             sum(entry.words for entry in self.global_edges)
 
     def entry_from(self, splitter: int) -> Optional[GlobalEdgeEntry]:
-        for entry in self.global_edges:
-            if entry.parent_splitter == splitter:
-                return entry
-        return None
+        """The ``T'`` edge leaving ``splitter`` on the root→v path.
+
+        Backed by a lazily built ``parent_splitter → entry`` map, so a
+        forwarding decision costs one dict probe instead of a linear
+        scan of ``global_edges``.  The map is not a dataclass field
+        (equality and ``replace`` see only the declared fields) and is
+        attached with ``object.__setattr__`` because the class is
+        frozen.
+        """
+        by_parent = getattr(self, "_by_parent", None)
+        if by_parent is None:
+            by_parent = {}
+            for entry in self.global_edges:
+                by_parent.setdefault(entry.parent_splitter, entry)
+            object.__setattr__(self, "_by_parent", by_parent)
+        return by_parent.get(splitter)
 
 
 class DistributedTreeRouting:
@@ -195,11 +207,18 @@ def sample_splitters(num_vertices: int, probability: float,
     return {v for v in range(num_vertices) if rng.random() < probability}
 
 
-def build_distributed_tree_routing(tree: RootedTree,
-                                   splitters: Set[int],
-                                   port_of: Optional[PortFunction] = None
-                                   ) -> DistributedTreeRouting:
-    """Construct the two-level scheme for one tree.
+def build_distributed_tree_routing_reference(
+        tree: RootedTree, splitters: Set[int],
+        port_of: Optional[PortFunction] = None) -> DistributedTreeRouting:
+    """Per-subtree oracle for :func:`build_distributed_tree_routing`.
+
+    The original construction, kept verbatim as the semantic reference:
+    it materializes a parent dict and a :class:`RootedTree` per splitter
+    subtree, runs :func:`build_tree_routing` on each, and assembles each
+    splitter's global label by walking ``T'`` root paths (quadratic in
+    ``|U|``).  The differential harness
+    (``tests/core/test_tree_routing_equivalence.py``) pins the flat
+    builder's tables/labels/words to this one's, bit for bit.
 
     ``splitters`` is the global sample ``U``; the tree root is always
     added (``U(T) = (U ∩ V(T)) ∪ {z}``).
@@ -308,6 +327,185 @@ def build_distributed_tree_routing(tree: RootedTree,
                                   max_subtree_depth=max_depth)
 
 
+def build_distributed_tree_routing(tree: RootedTree,
+                                   splitters: Set[int],
+                                   port_of: Optional[PortFunction] = None
+                                   ) -> DistributedTreeRouting:
+    """Construct the two-level scheme for one tree (flat construction).
+
+    ``splitters`` is the global sample ``U``; the tree root is always
+    added (``U(T) = (U ∩ V(T)) ∪ {z}``).
+
+    Bit-identical to :func:`build_distributed_tree_routing_reference`,
+    but linear-time: every per-subtree quantity (local DFS intervals,
+    subtree sizes, heavy children, labels) is computed in a constant
+    number of sweeps over the *whole* tree's pre-order, gated on
+    subtree membership — no per-splitter parent-dict materialization,
+    no per-splitter :class:`RootedTree` construction.  The key fact is
+    that the full tree's pre-order, restricted to one subtree ``T_w``,
+    *is* ``T_w``'s own pre-order (children are visited in sorted order
+    either way), so local entry times are just per-subtree counters
+    along the global order.  Global labels are assembled top-down over
+    ``T'`` — a child splitter shares its parent's edge tuple (extended
+    only for non-heavy crossings) instead of re-walking its root path,
+    removing the reference's quadratic-in-``|U|`` step.
+    """
+    if port_of is None:
+        def port_of(u: int, v: int) -> int:  # noqa: ANN001
+            return v
+
+    z = tree.root
+    core = tree.flat_core()
+    order = core.order
+    chosen_set = (set(splitters) & set(order)) | {z}
+
+    # --- subtree decomposition + all local quantities, in flat sweeps
+    size_n = len(order)
+    root_of_pos: List[int] = [0] * size_n       # position of the subtree root
+    l_entry: List[int] = [0] * size_n           # local DFS entry time
+    l_depth: List[int] = [0] * size_n           # depth inside the subtree
+    counter: Dict[int, int] = {}                # subtree-root pos -> next time
+    for i, v in enumerate(order):
+        if v in chosen_set:
+            w = i
+            l_depth[i] = 0
+        else:
+            p = core.parent[i]
+            w = root_of_pos[p]
+            l_depth[i] = l_depth[p] + 1
+        root_of_pos[i] = w
+        t = counter.get(w, 0)
+        l_entry[i] = t
+        counter[w] = t + 1
+
+    l_exit = list(l_entry)
+    l_size = [1] * size_n
+    for i in range(size_n - 1, 0, -1):
+        p = core.parent[i]
+        if root_of_pos[i] == root_of_pos[p]:    # same subtree only
+            l_size[p] += l_size[i]
+            if l_exit[i] > l_exit[p]:
+                l_exit[p] = l_exit[i]
+
+    l_heavy = [-1] * size_n                     # heaviest same-subtree child
+    for i in range(size_n - 1, 0, -1):
+        p = core.parent[i]
+        if root_of_pos[i] != root_of_pos[p]:
+            continue
+        # reverse pre-order: among equal sizes the earliest (smallest
+        # name) child is assigned last and wins, as in the reference.
+        if l_heavy[p] == -1 or l_size[i] >= l_size[l_heavy[p]]:
+            l_heavy[p] = i
+
+    max_depth = max(l_depth, default=0)
+
+    # --- local tables and labels (labels top-down, tuples shared along
+    # heavy paths)
+    l_tables: List[TreeTable] = [None] * size_n       # type: ignore
+    l_labels: List[TreeLabel] = [None] * size_n       # type: ignore
+    l_edges: List[Tuple[Tuple[int, int, int], ...]] = [()] * size_n
+    for i, v in enumerate(order):
+        h = l_heavy[i]
+        heavy_child = None if h == -1 else order[h]
+        if root_of_pos[i] == i:
+            local_parent = None
+            edges: Tuple[Tuple[int, int, int], ...] = ()
+        else:
+            p = core.parent[i]
+            local_parent = order[p]
+            edges = l_edges[p]
+            if l_heavy[p] != i:
+                edges = edges + ((local_parent, v,
+                                  port_of(local_parent, v)),)
+        l_edges[i] = edges
+        l_tables[i] = TreeTable(
+            vertex=v,
+            parent=local_parent,
+            parent_port=None if local_parent is None
+            else port_of(v, local_parent),
+            heavy_child=heavy_child,
+            heavy_child_port=None if heavy_child is None
+            else port_of(v, heavy_child),
+            entry=l_entry[i],
+            exit=l_exit[i],
+        )
+        l_labels[i] = TreeLabel(vertex=v, entry=l_entry[i],
+                                path_edges=edges)
+
+    # --- virtual tree T' on the splitters (|U| is small; the RootedTree
+    # helpers are already flat)
+    chosen = sorted(chosen_set)
+    virtual_parent: Dict[int, Optional[int]] = {}
+    for w in chosen:
+        if w == z:
+            virtual_parent[w] = None
+        else:
+            pw = core.parent[core.index[w]]
+            virtual_parent[w] = order[root_of_pos[pw]]
+    virtual_tree = RootedTree(z, virtual_parent)
+    v_entry, v_exit = virtual_tree.dfs_intervals()
+    v_heavy = virtual_tree.heavy_children()
+
+    # --- portals: for each splitter u with heavy T' child h, the real
+    # parent y of h (y ∈ T_u) plus y's local label and the crossing port
+    heavy_portal: Dict[int, Tuple[int, TreeLabel, int]] = {}
+    for u in chosen:
+        h = v_heavy[u]
+        if h is None:
+            continue
+        yi = core.parent[core.index[h]]
+        heavy_portal[u] = (order[yi], l_labels[yi], port_of(order[yi], h))
+
+    # --- global labels per splitter, assembled top-down over T'
+    global_edges_of: Dict[int, Tuple[GlobalEdgeEntry, ...]] = {}
+    for u in virtual_tree.dfs_order():
+        vp = virtual_parent[u]
+        if vp is None:
+            global_edges_of[u] = ()
+            continue
+        entries = global_edges_of[vp]
+        if v_heavy[vp] != u:
+            xi = core.parent[core.index[u]]
+            entries = entries + (GlobalEdgeEntry(
+                parent_splitter=vp, child_splitter=u, portal=order[xi],
+                portal_label=l_labels[xi],
+                port=port_of(order[xi], u)),)
+        global_edges_of[u] = entries
+
+    # --- per-vertex tables and labels
+    tables: Dict[int, DistTreeTable] = {}
+    labels: Dict[int, DistTreeLabel] = {}
+    for i, v in enumerate(order):
+        w = order[root_of_pos[i]]
+        p = core.parent[i]
+        tree_parent = None if p == -1 else order[p]
+        portal = heavy_portal.get(w)
+        tables[v] = DistTreeTable(
+            vertex=v,
+            tree_parent=tree_parent,
+            tree_parent_port=None if tree_parent is None
+            else port_of(v, tree_parent),
+            local=l_tables[i],
+            splitter=w,
+            global_entry=v_entry[w],
+            global_exit=v_exit[w],
+            heavy_splitter=v_heavy[w],
+            heavy_portal=None if portal is None else portal[0],
+            heavy_portal_label=None if portal is None else portal[1],
+            heavy_portal_port=None if portal is None else portal[2],
+        )
+        labels[v] = DistTreeLabel(
+            vertex=v,
+            local=l_labels[i],
+            global_entry=v_entry[w],
+            global_edges=global_edges_of[w],
+        )
+
+    return DistributedTreeRouting(tree=tree, tables=tables, labels=labels,
+                                  splitters=chosen,
+                                  max_subtree_depth=max_depth)
+
+
 @dataclass
 class ForestRoutingReport:
     """All per-tree schemes plus the Remark-3 round charge."""
@@ -343,6 +541,43 @@ def build_forest_routing(trees: Dict[int, RootedTree],
     ``B`` (deepest local subtree), measured overlap and measured word
     totals for the Lemma-1 phases.
     """
+    return _forest_routing(trees, num_graph_vertices, rng,
+                           build_distributed_tree_routing,
+                           bfs_tree=bfs_tree, port_of=port_of,
+                           capacity_words=capacity_words, gamma=gamma)
+
+
+def build_forest_routing_reference(trees: Dict[int, RootedTree],
+                                   num_graph_vertices: int,
+                                   rng: random.Random,
+                                   bfs_tree: Optional[BFSTree] = None,
+                                   port_of: Optional[PortFunction] = None,
+                                   capacity_words: int = 2,
+                                   gamma: Optional[float] = None,
+                                   engine: Optional[str] = None
+                                   ) -> ForestRoutingReport:
+    """:func:`build_forest_routing` over the per-subtree oracle builder.
+
+    Identical sampling, scheme assembly and Remark-3 accounting; only
+    the per-tree construction differs.  Retained so the differential
+    harness (and the build-throughput benchmark) can compare whole
+    forests bit for bit.
+    """
+    return _forest_routing(trees, num_graph_vertices, rng,
+                           build_distributed_tree_routing_reference,
+                           bfs_tree=bfs_tree, port_of=port_of,
+                           capacity_words=capacity_words, gamma=gamma)
+
+
+def _forest_routing(trees: Dict[int, RootedTree],
+                    num_graph_vertices: int,
+                    rng: random.Random,
+                    tree_builder,
+                    bfs_tree: Optional[BFSTree] = None,
+                    port_of: Optional[PortFunction] = None,
+                    capacity_words: int = 2,
+                    gamma: Optional[float] = None
+                    ) -> ForestRoutingReport:
     n = max(num_graph_vertices, 2)
     overlap = [0] * num_graph_vertices
     for tree in trees.values():
@@ -357,8 +592,7 @@ def build_forest_routing(trees: Dict[int, RootedTree],
 
     schemes: Dict[int, DistributedTreeRouting] = {}
     for tree_id, tree in trees.items():
-        schemes[tree_id] = build_distributed_tree_routing(
-            tree, splitters, port_of=port_of)
+        schemes[tree_id] = tree_builder(tree, splitters, port_of=port_of)
 
     ledger = CostLedger()
     height = bfs_tree.height if bfs_tree is not None else 0

@@ -6,9 +6,13 @@ the concrete graph type every other subsystem builds on.  Vertices are the
 integers ``0 .. n-1``; the adjacency structure is a list of per-vertex
 dictionaries mapping neighbor to weight.
 
-The class is deliberately minimal and explicit — no magic views, no lazy
-caches that can go stale — because the CONGEST simulator and the routing
-algorithms mutate per-node *state*, never the graph itself.
+The class is deliberately minimal and explicit because the CONGEST
+simulator and the routing algorithms mutate per-node *state*, never the
+graph itself.  The one derived structure — the CSR adjacency view the
+vectorized construction kernels run on (:mod:`repro.graphs.csr`) — is
+cached against an explicit mutation ``version`` so it can never go
+stale: every ``add_edge``/``remove_edge`` bumps the version and thereby
+invalidates any outstanding view.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ class WeightedGraph:
       that a weight fits in one message word.
     """
 
-    __slots__ = ("_n", "_adj", "_num_edges")
+    __slots__ = ("_n", "_adj", "_num_edges", "_version", "_csr_cache")
 
     def __init__(self, num_vertices: int) -> None:
         if num_vertices < 0:
@@ -42,6 +46,8 @@ class WeightedGraph:
         self._n = num_vertices
         self._adj: List[Dict[int, int]] = [dict() for _ in range(num_vertices)]
         self._num_edges = 0
+        self._version = 0
+        self._csr_cache = None  # managed by repro.graphs.csr.csr_view
 
     # ------------------------------------------------------------------
     # Construction
@@ -62,6 +68,7 @@ class WeightedGraph:
             self._num_edges += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}``; raise if absent."""
@@ -72,6 +79,7 @@ class WeightedGraph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     @classmethod
     def from_edges(cls, num_vertices: int,
@@ -103,6 +111,15 @@ class WeightedGraph:
     def num_edges(self) -> int:
         """Number of undirected edges ``m``."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every edge insert/delete.
+
+        Derived views (the CSR adjacency of :mod:`repro.graphs.csr`)
+        stamp themselves with this value and rebuild when it moves.
+        """
+        return self._version
 
     def vertices(self) -> range:
         """Iterate over all vertex names."""

@@ -5,6 +5,7 @@ from .source_detection import (
     SourceDetectionResult,
     build_virtual_graph_from_detection,
     detect_sources,
+    detect_sources_reference,
 )
 from .approx_spt import ApproxSPTResult, approximate_spt
 
@@ -12,6 +13,7 @@ __all__ = [
     "SourceDetectionResult",
     "build_virtual_graph_from_detection",
     "detect_sources",
+    "detect_sources_reference",
     "ApproxSPTResult",
     "approximate_spt",
 ]

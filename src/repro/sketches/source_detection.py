@@ -26,6 +26,20 @@ algorithm: per scale, a ``B``-iteration exploration whose rounded weights
 are at most ``O(B/eps)`` — pipelined over the sources — costs
 ``ceil(B/eps') + |V'| + 2*height`` rounds, summed over
 ``ceil(log2(B * W_max))`` scales.  This is ``Õ(|V'| + B + D)/eps``.
+
+Like the CONGEST engine and the Bellman–Ford explorations, the detection
+ships in two implementations.  The original per-source, per-scale
+dict-of-dict loops live on as :func:`detect_sources_reference` (the
+semantic oracle); the public :func:`detect_sources` is a **batched**
+multi-source hop-bounded Bellman–Ford: one ``|V'| × n`` distance matrix
+advanced hop by hop via the scatter-min kernel over the graph's cached
+CSR view (:mod:`repro.graphs.csr`), with the per-scale weight rounding
+applied as one precomputed rounded-weight array instead of a per-edge
+Python closure.  One deliberate semantic pin, applied to both: frontiers
+are processed in sorted vertex order (the original iterated a ``set``),
+so equal-distance parent ties resolve deterministically and identically
+across the pair.  Estimates, parents and round charges are bit-identical
+— enforced by ``tests/sketches/test_detection_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -36,8 +50,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..congest.bfs import BFSTree
 from ..exceptions import ParameterError
+from ..graphs.csr import CSRView, csr_view, relax_frontier
 from ..graphs.shortest_paths import INF
 from ..graphs.weighted_graph import WeightedGraph
+
+try:  # matrix rows are numpy when available; list rows otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: Ceiling on ``|V'| * 2m`` cells for the whole-matrix advance: one hop
+#: holds about three (active rows × frontier out-edges) float64
+#: temporaries at once (the candidate matrix, the repeated group
+#: minima, and the winner mask/gathers), so this budget caps the
+#: transient at roughly 100 MB; past it the batched path falls back to
+#: per-row advances, which peak at O(n + m) extra.
+_MATRIX_CELL_LIMIT = 1 << 22
 
 
 @dataclass
@@ -77,7 +105,11 @@ def _bounded_bellman_ford(graph: WeightedGraph, source: int, hop_bound: int,
                           weight_of) -> Tuple[List[float],
                                               List[Optional[int]]]:
     """``hop_bound`` Bellman–Ford iterations from ``source`` under a
-    (possibly rounded) weight function; returns (dist, parent)."""
+    (possibly rounded) weight function; returns (dist, parent).
+
+    The frontier is processed in sorted vertex order so equal-distance
+    parent ties resolve deterministically (and identically to the
+    batched implementation's CSR scan order)."""
     n = graph.num_vertices
     dist: List[float] = [INF] * n
     parent: List[Optional[int]] = [None] * n
@@ -87,7 +119,7 @@ def _bounded_bellman_ford(graph: WeightedGraph, source: int, hop_bound: int,
         if not frontier:
             break
         updates: Dict[int, Tuple[float, int]] = {}
-        for u in frontier:
+        for u in sorted(frontier):
             du = dist[u]
             for v, raw_w in graph.neighbor_weights(u):
                 nd = du + weight_of(raw_w)
@@ -116,28 +148,8 @@ def _charged_rounds(num_sources: int, hop_bound: int, eps: float,
     return num_scales * per_scale
 
 
-def detect_sources(graph: WeightedGraph, sources: Sequence[int],
-                   hop_bound: int, eps: float,
-                   bfs_tree: Optional[BFSTree] = None,
-                   mode: str = "rounded") -> SourceDetectionResult:
-    """Run [Nan14] Theorem-1 source detection.
-
-    Parameters
-    ----------
-    graph:
-        The network graph ``G``.
-    sources:
-        The source set ``V'``.
-    hop_bound:
-        ``B`` — paths of more than ``B`` edges are ignored.
-    eps:
-        Approximation slack; estimates are within ``(1 + eps)``.
-    bfs_tree:
-        BFS tree used only for the round charge's ``D`` term (height 0 is
-        assumed when omitted).
-    mode:
-        ``"rounded"`` (faithful approximate values) or ``"exact"``.
-    """
+def _validate(graph: WeightedGraph, sources: Sequence[int],
+              hop_bound: int, eps: float, mode: str) -> List[int]:
     if hop_bound < 0:
         raise ParameterError(f"hop_bound must be >= 0, got {hop_bound}")
     if not 0 < eps < 1:
@@ -149,11 +161,31 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
     for s in source_list:
         if not 0 <= s < n:
             raise ParameterError(f"source {s} out of range")
+    return source_list
 
-    height = bfs_tree.height if bfs_tree is not None else 0
+
+def _scale_parameters(graph: WeightedGraph, hop_bound: int
+                      ) -> int:
     max_weight = max(graph.max_weight(), 1)
     max_dist = max_weight * max(hop_bound, 1)
-    num_scales = max(1, math.ceil(math.log2(max_dist + 1)))
+    return max(1, math.ceil(math.log2(max_dist + 1)))
+
+
+def detect_sources_reference(graph: WeightedGraph, sources: Sequence[int],
+                             hop_bound: int, eps: float,
+                             bfs_tree: Optional[BFSTree] = None,
+                             mode: str = "rounded"
+                             ) -> SourceDetectionResult:
+    """Per-source, per-scale oracle for :func:`detect_sources`.
+
+    The original dict-of-dict implementation, kept verbatim (modulo the
+    sorted-frontier tie pin) as the semantic reference the differential
+    harness checks the batched path against.
+    """
+    source_list = _validate(graph, sources, hop_bound, eps, mode)
+    n = graph.num_vertices
+    height = bfs_tree.height if bfs_tree is not None else 0
+    num_scales = _scale_parameters(graph, hop_bound)
 
     estimate: List[Dict[int, float]] = [dict() for _ in range(n)]
     parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
@@ -198,6 +230,254 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
     return SourceDetectionResult(sources=source_list, estimate=estimate,
                                  parent=parent, rounds=rounds,
                                  hop_bound=hop_bound, eps=eps, mode=mode)
+
+
+# ----------------------------------------------------------------------
+# Batched path
+# ----------------------------------------------------------------------
+def _scale_units(eps_internal: float, hop_bound: int,
+                 num_scales: int) -> List[float]:
+    """The rounding unit per scale (0 entries are skipped)."""
+    units = []
+    for i in range(num_scales):
+        delta = 1 << i
+        units.append(eps_internal * delta / max(hop_bound, 1))
+    return units
+
+
+def _advance_matrix_np(view: CSRView, dist, par, hop_bound: int,
+                       weights, sources) -> None:
+    """``hop_bound`` hops of one scale's ``|V'| × n`` matrix, vectorized.
+
+    One *union* frontier drives every row: relaxing a row from a vertex
+    outside that row's own frontier is a no-op (its distance has not
+    changed since its edges were last relaxed, so no candidate can be
+    strictly improving), which makes the union advance bit-identical to
+    the reference's per-source frontiers — including parent tie-breaks,
+    because winners are still chosen as the earliest strictly-improving
+    edge in CSR order.
+    """
+    n = view.num_vertices
+    perm, src_t, dst_t = view.transpose_order()
+    w_t = weights[perm]                 # once per advance, not per hop
+    in_frontier = _np.zeros(n, dtype=bool)
+    frontier = _np.asarray(sources, dtype=_np.int64)
+    # A row with a no-improvement hop has an empty reference frontier
+    # and can never improve again, so converged rows drop out.
+    active = _np.arange(dist.shape[0], dtype=_np.int64)
+    for _ in range(hop_bound):
+        if frontier.size == 0 or active.size == 0:
+            break
+        # frontier out-edges, grouped by target: a mask over the static
+        # transpose order (which keeps CSR order inside each group —
+        # the exact scan order whose first strict minimum the
+        # reference keeps)
+        in_frontier[frontier] = True
+        selected = _np.nonzero(in_frontier[src_t])[0]
+        in_frontier[frontier] = False
+        total = selected.size
+        if total == 0:
+            break
+        eu_s = src_t[selected]
+        ev_s = dst_t[selected]
+        cand = dist[_np.ix_(active, eu_s)] + w_t[selected]
+        group_starts = _np.nonzero(
+            _np.r_[True, ev_s[1:] != ev_s[:-1]])[0]
+        targets = ev_s[group_starts]
+        mins = _np.minimum.reduceat(cand, group_starts, axis=1)
+        cells = mins < dist[_np.ix_(active, targets)]   # strict improvements
+        live = cells.any(axis=1)
+        if not live.any():
+            break
+        if not live.all():
+            # the parent pass below is the expensive half; restrict it
+            # (and the commit bookkeeping) to rows that improved
+            cand = cand[live]
+            mins = mins[live]
+            cells = cells[live]
+            active = active[live]
+        # Parent recovery: among the edges of an *improving* cell that
+        # attain its minimum, the earliest in CSR order wins (the
+        # reference's first-strict-minimum).  Matching is restricted to
+        # improving cells — a non-improving candidate can never tie an
+        # improving minimum, but INF == INF would match in untouched
+        # groups.  The reversed scatter makes the first edge's write
+        # land last.
+        sizes = _np.diff(_np.r_[group_starts, total])
+        group_of = _np.repeat(
+            _np.arange(targets.size, dtype=_np.int64), sizes)
+        match = cand == _np.repeat(mins, sizes, axis=1)
+        match &= cells[:, group_of]
+        win_rows, win_edges = _np.nonzero(match)
+        vias = _np.zeros(cells.shape, dtype=_np.int64)
+        vias[win_rows[::-1], group_of[win_edges[::-1]]] = \
+            eu_s[win_edges[::-1]]
+        rows_i, cols_i = _np.nonzero(cells)
+        grows = active[rows_i]
+        dist[grows, targets[cols_i]] = mins[rows_i, cols_i]
+        par[grows, targets[cols_i]] = vias[rows_i, cols_i]
+        touched = _np.zeros(targets.size, dtype=bool)
+        touched[cols_i] = True
+        frontier = targets[touched]        # targets ascending already
+
+
+def _advance_rows_py(view: CSRView, rows, parents, hop_bound: int,
+                     weights, sources) -> None:
+    """The same matrix advance on list rows (no-numpy fallback).
+
+    Rows keep their own frontiers here: without vectorization the union
+    trick saves nothing, and per-row frontiers do strictly less work.
+    """
+    frontiers = [[s] for s in sources]
+    for _ in range(hop_bound):
+        active = False
+        for r, frontier in enumerate(frontiers):
+            if len(frontier) == 0:
+                continue
+            active = True
+            targets, dists, vias = relax_frontier(view, rows[r], frontier,
+                                                  weights)
+            row = rows[r]
+            par = parents[r]
+            for idx, t in enumerate(targets):
+                row[t] = dists[idx]
+                par[t] = vias[idx]
+            frontiers[r] = targets
+        if not active:
+            break
+
+
+def _detect_vectorized(view: CSRView, source_list: List[int],
+                       hop_bound: int, units: List[Optional[float]],
+                       n: int):
+    """Per-scale ``|V'| × n`` matrix runs with a sequential merge.
+
+    Scales advance one at a time: only one rounded-weight array (2m
+    floats) is ever resident, and each scale's union frontier stays its
+    own — stacking scales into one matrix was measured *slower*, since
+    scales at different convergence stages inflate each other's
+    frontier edge sets.  The cross-scale merge is the reference's
+    sequential strict-``<``.  ``units`` holds one rounding unit per
+    live scale (``None`` = raw weights, the exact mode).
+    """
+    num_sources = len(source_list)
+    w_f64 = view.weights_f64()
+    rows_idx = _np.arange(num_sources)
+    src = _np.asarray(source_list, dtype=_np.int64)
+    best = _np.full((num_sources, n), INF)
+    best_parent = _np.full((num_sources, n), -1, dtype=_np.int64)
+    for unit in units:
+        weights = w_f64 if unit is None \
+            else _np.ceil(w_f64 / unit) * unit
+        dist = _np.full((num_sources, n), INF)
+        par = _np.full((num_sources, n), -1, dtype=_np.int64)
+        dist[rows_idx, src] = 0.0
+        _advance_matrix_np(view, dist, par, hop_bound, weights,
+                           source_list)
+        improved = dist < best
+        best = _np.where(improved, dist, best)
+        best_parent = _np.where(improved, par, best_parent)
+    return best, best_parent
+
+
+def detect_sources(graph: WeightedGraph, sources: Sequence[int],
+                   hop_bound: int, eps: float,
+                   bfs_tree: Optional[BFSTree] = None,
+                   mode: str = "rounded") -> SourceDetectionResult:
+    """Run [Nan14] Theorem-1 source detection (batched implementation).
+
+    Parameters
+    ----------
+    graph:
+        The network graph ``G``.
+    sources:
+        The source set ``V'``.
+    hop_bound:
+        ``B`` — paths of more than ``B`` edges are ignored.
+    eps:
+        Approximation slack; estimates are within ``(1 + eps)``.
+    bfs_tree:
+        BFS tree used only for the round charge's ``D`` term (height 0 is
+        assumed when omitted).
+    mode:
+        ``"rounded"`` (faithful approximate values) or ``"exact"``.
+
+    Bit-identical to :func:`detect_sources_reference`; see the module
+    docstring for the batching scheme.
+    """
+    source_list = _validate(graph, sources, hop_bound, eps, mode)
+    n = graph.num_vertices
+    height = bfs_tree.height if bfs_tree is not None else 0
+    num_scales = _scale_parameters(graph, hop_bound)
+
+    estimate: List[Dict[int, float]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+    rounds = _charged_rounds(len(source_list), hop_bound, eps, height,
+                             num_scales)
+    result = SourceDetectionResult(sources=source_list, estimate=estimate,
+                                   parent=parent, rounds=rounds,
+                                   hop_bound=hop_bound, eps=eps, mode=mode)
+    if not source_list or n == 0:
+        return result
+
+    view = csr_view(graph)
+    num_sources = len(source_list)
+    edges2 = view.num_directed_edges
+    vectorized = (view.vectorized and _np is not None
+                  and num_sources * edges2 <= _MATRIX_CELL_LIMIT)
+
+    if mode == "exact":
+        units = [None]                       # one pseudo-scale, raw weights
+    else:
+        # eps/2 internally: the winning scale contributes <= eps/2 * 2
+        # = eps relative error (see module docstring).
+        units = [u for u in _scale_units(eps / 2.0, hop_bound, num_scales)
+                 if u > 0]
+
+    if vectorized:
+        best, best_parent = _detect_vectorized(view, source_list,
+                                               hop_bound, units, n)
+    else:
+        raw = view.weights.tolist() if view.vectorized else view.weights
+        best = [[INF] * n for _ in range(num_sources)]
+        best_parent = [[-1] * n for _ in range(num_sources)]
+        for unit in units:
+            weights = (list(raw) if unit is None
+                       else [math.ceil(w / unit) * unit for w in raw])
+            rows = [[INF] * n for _ in range(num_sources)]
+            parents = [[-1] * n for _ in range(num_sources)]
+            for r, s in enumerate(source_list):
+                rows[r][s] = 0.0
+            _advance_rows_py(view, rows, parents, hop_bound, weights,
+                             source_list)
+            # merge: per (source, vertex), a strictly smaller scale
+            # value wins (the reference's `dist[u] < best[u]` check).
+            for r in range(num_sources):
+                row, prow = rows[r], parents[r]
+                brow, bprow = best[r], best_parent[r]
+                for u in range(n):
+                    if row[u] < brow[u]:
+                        brow[u] = row[u]
+                        bprow[u] = prow[u]
+
+    exact = mode == "exact"
+    for r, s in enumerate(source_list):
+        brow = best[r]
+        bprow = best_parent[r]
+        if vectorized:
+            finite = _np.nonzero(brow < INF)[0]
+        else:
+            finite = [u for u in range(n) if brow[u] < INF]
+        for u in finite:
+            u = int(u)
+            value = brow[u]
+            # the source's own estimate is the int 0 in the reference's
+            # rounded mode too (it is initialized, never relaxed)
+            estimate[u][s] = int(value) if (exact or u == s) \
+                else float(value)
+            p = int(bprow[u])
+            parent[u][s] = None if p < 0 else p
+    return result
 
 
 def build_virtual_graph_from_detection(result: SourceDetectionResult):

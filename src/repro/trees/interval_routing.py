@@ -169,14 +169,22 @@ def build_tree_routing(tree: RootedTree,
             exit=exit_time[u],
         )
 
+    # Labels are assembled top-down in pre-order: a vertex inherits its
+    # parent's (root ... parent) non-heavy edge tuple, extended only
+    # when the step into it leaves the heavy path.  One pass, and heavy
+    # descendants share their ancestor's tuple outright — versus the
+    # per-vertex root walk, which is quadratic in the tree height.
     labels: Dict[int, TreeLabel] = {}
-    for v in tree.vertices():
-        path = tree.path_to_root(v)[::-1]  # root ... v
-        edges: List[Tuple[int, int, int]] = []
-        for w, child in zip(path, path[1:]):
-            if heavy[w] != child:
-                edges.append((w, child, port_of(w, child)))
-        labels[v] = TreeLabel(vertex=v, entry=entry[v],
-                              path_edges=tuple(edges))
+    edges_of: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
+    for v in tree.dfs_order():
+        p = tree.parent(v)
+        if p is None:
+            edges: Tuple[Tuple[int, int, int], ...] = ()
+        else:
+            edges = edges_of[p]
+            if heavy[p] != v:
+                edges = edges + ((p, v, port_of(p, v)),)
+        edges_of[v] = edges
+        labels[v] = TreeLabel(vertex=v, entry=entry[v], path_edges=edges)
 
     return TreeRoutingScheme(tree, tables, labels)

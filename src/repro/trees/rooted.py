@@ -5,6 +5,13 @@ tree keeps its own vertex set (original names) with a parent map.  The
 helpers here — subtree sizes, heavy children, DFS entry/exit intervals —
 are exactly the ingredients of the Thorup–Zwick tree-routing scheme the
 paper recaps at the start of Section 6.
+
+All derived quantities (pre-order, entry/exit intervals, subtree sizes,
+heavy children, depths) come from one *flat* computation: vertices are
+mapped to dense pre-order indices once, and every pass is a single
+sweep over parallel index arrays instead of per-vertex dict walks.  The
+tree is immutable after construction, so the flat core is computed once
+and cached.
 """
 
 from __future__ import annotations
@@ -15,6 +22,25 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..exceptions import SchemeError
 
 
+@dataclass
+class _FlatCore:
+    """Parallel arrays over the DFS pre-order (index 0 is the root).
+
+    ``order[i]`` is the vertex at pre-order position ``i``; all other
+    arrays are indexed by position.  ``parent[0] == -1``; ``heavy``
+    holds positions (``-1`` at leaves); ``exit[i]`` is the largest
+    pre-order position inside ``i``'s subtree.
+    """
+
+    order: List[int]
+    index: Dict[int, int]
+    parent: List[int]
+    exit: List[int]
+    size: List[int]
+    heavy: List[int]
+    depth: List[int]
+
+
 class RootedTree:
     """A rooted tree over arbitrary integer vertex names.
 
@@ -23,7 +49,7 @@ class RootedTree:
     the whole routing scheme — deterministic.
     """
 
-    __slots__ = ("root", "_parent", "_children")
+    __slots__ = ("root", "_parent", "_children", "_flat")
 
     def __init__(self, root: int, parent: Dict[int, Optional[int]]) -> None:
         if parent.get(root, "missing") is not None:
@@ -40,6 +66,7 @@ class RootedTree:
             self._children[p].append(v)
         for kids in self._children.values():
             kids.sort()
+        self._flat: Optional[_FlatCore] = None
         self._validate_connected()
 
     def _validate_connected(self) -> None:
@@ -88,19 +115,12 @@ class RootedTree:
 
     def height(self) -> int:
         """Maximum depth over all vertices (0 for a singleton)."""
-        depths = self.depths()
-        return max(depths.values()) if depths else 0
+        return max(self.flat_core().depth, default=0)
 
     def depths(self) -> Dict[int, int]:
-        """Depth of every vertex, computed in one top-down pass."""
-        out = {self.root: 0}
-        stack = [self.root]
-        while stack:
-            u = stack.pop()
-            for c in self._children[u]:
-                out[c] = out[u] + 1
-                stack.append(c)
-        return out
+        """Depth of every vertex, from the cached flat core."""
+        core = self.flat_core()
+        return dict(zip(core.order, core.depth))
 
     def path_to_root(self, v: int) -> List[int]:
         path = [v]
@@ -120,48 +140,73 @@ class RootedTree:
         raise SchemeError("vertices share no ancestor (corrupt tree)")
 
     # ------------------------------------------------------------------
+    def flat_core(self) -> _FlatCore:
+        """The cached parallel-array core (see :class:`_FlatCore`).
+
+        Safe to cache: the tree has no mutating operations after
+        ``__init__``.  Everything below is a thin dict view over it.
+        """
+        core = self._flat
+        if core is not None:
+            return core
+        order = self._dfs_order()
+        size_n = len(order)
+        index = {v: i for i, v in enumerate(order)}
+        parent_pos = [-1] * size_n
+        depth = [0] * size_n
+        tree_parent = self._parent
+        for i in range(1, size_n):
+            p = index[tree_parent[order[i]]]  # type: ignore[index]
+            parent_pos[i] = p
+            depth[i] = depth[p] + 1
+        exit_pos = list(range(size_n))
+        sizes = [1] * size_n
+        heavy = [-1] * size_n
+        for i in range(size_n - 1, 0, -1):
+            p = parent_pos[i]
+            sizes[p] += sizes[i]
+            if exit_pos[i] > exit_pos[p]:
+                exit_pos[p] = exit_pos[i]
+            # scanned in reverse pre-order, so among equal-size children
+            # the one visited earliest (the smallest name: children are
+            # sorted) is assigned last and wins the tie.
+            if heavy[p] == -1 or sizes[i] >= sizes[heavy[p]]:
+                heavy[p] = i
+        core = _FlatCore(order=order, index=index, parent=parent_pos,
+                         exit=exit_pos, size=sizes, heavy=heavy,
+                         depth=depth)
+        self._flat = core
+        return core
+
     def subtree_sizes(self) -> Dict[int, int]:
         """Number of vertices in each subtree (bottom-up, iterative)."""
-        sizes = {v: 1 for v in self._parent}
-        for u in reversed(self._dfs_order()):
-            p = self._parent[u]
-            if p is not None:
-                sizes[p] += sizes[u]
-        return sizes
+        core = self.flat_core()
+        return dict(zip(core.order, core.size))
 
     def heavy_children(self) -> Dict[int, Optional[int]]:
         """The child with the largest subtree, per vertex (None at leaves).
 
-        Ties break toward the smaller vertex name (children are sorted and
-        ``>`` keeps the first maximum).
+        Ties break toward the smaller vertex name (children are sorted,
+        and the flat sweep keeps the earliest pre-order maximum).
         """
-        sizes = self.subtree_sizes()
-        heavy: Dict[int, Optional[int]] = {}
-        for u in self._parent:
-            best, best_size = None, 0
-            for c in self._children[u]:
-                if sizes[c] > best_size:
-                    best, best_size = c, sizes[c]
-            heavy[u] = best
-        return heavy
+        core = self.flat_core()
+        order = core.order
+        return {v: (None if core.heavy[i] == -1 else order[core.heavy[i]])
+                for i, v in enumerate(order)}
 
     def dfs_intervals(self) -> Tuple[Dict[int, int], Dict[int, int]]:
         """DFS entry time ``a_u`` and last-descendant time ``b_u``.
 
         ``v`` is in the subtree of ``x`` iff ``a_x <= a_v <= b_x``.
         """
-        order = self._dfs_order()
-        entry = {v: i for i, v in enumerate(order)}
-        exit_time = dict(entry)
-        for u in reversed(order):
-            p = self._parent[u]
-            if p is not None and exit_time[u] > exit_time[p]:
-                exit_time[p] = exit_time[u]
+        core = self.flat_core()
+        entry = dict(core.index)
+        exit_time = dict(zip(core.order, core.exit))
         return entry, exit_time
 
     def dfs_order(self) -> List[int]:
         """Vertices in the (deterministic) DFS pre-order."""
-        return self._dfs_order()
+        return list(self.flat_core().order)
 
     def _dfs_order(self) -> List[int]:
         order = []

@@ -1,0 +1,196 @@
+"""Contract tests for the cached CSR view and the scatter-min kernel."""
+
+import pytest
+
+import repro.graphs.csr as csr_module
+from repro.graphs import (
+    INF,
+    WeightedGraph,
+    csr_view,
+    random_connected,
+    relax_frontier,
+)
+from repro.graphs.csr import CSRView, frontier_neighbors
+
+
+def reference_relax(graph, dist_row, frontier):
+    """The dict-based first-strict-minimum hop the kernel must match."""
+    cand = {}
+    for u in frontier:
+        du = dist_row[u]
+        if du == INF:
+            continue
+        for v, w in graph.neighbor_weights(u):
+            nd = du + w
+            if nd < dist_row[v]:
+                best = cand.get(v)
+                if best is None or nd < best[0]:
+                    cand[v] = (nd, u)
+    targets = sorted(cand)
+    return (targets, [cand[t][0] for t in targets],
+            [cand[t][1] for t in targets])
+
+
+class TestViewContract:
+
+    def test_neighbor_order_matches_graph(self):
+        graph = random_connected(25, 0.2, seed=4)
+        view = csr_view(graph)
+        for u in graph.vertices():
+            expected = list(graph.neighbor_weights(u))
+            got = [(int(view.indices[j]), int(view.weights[j]))
+                   for j in range(int(view.indptr[u]),
+                                  int(view.indptr[u + 1]))]
+            assert got == expected
+
+    def test_view_is_cached(self):
+        graph = random_connected(10, 0.3, seed=1)
+        assert csr_view(graph) is csr_view(graph)
+
+    def test_add_edge_invalidates(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 2)
+        before = csr_view(graph)
+        graph.add_edge(2, 3, 5)
+        after = csr_view(graph)
+        assert after is not before
+        assert after.num_directed_edges == 4
+
+    def test_remove_edge_invalidates(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 3)
+        before = csr_view(graph)
+        graph.remove_edge(0, 1)
+        after = csr_view(graph)
+        assert after is not before
+        assert after.num_directed_edges == 2
+
+    def test_weight_overwrite_invalidates(self):
+        graph = WeightedGraph(2)
+        graph.add_edge(0, 1, 2)
+        before = csr_view(graph)
+        graph.add_edge(0, 1, 9)  # overwrite bumps the version too
+        after = csr_view(graph)
+        assert after is not before
+        assert int(after.weights[0]) == 9
+
+    def test_version_counter_monotone(self):
+        graph = WeightedGraph(3)
+        v0 = graph.version
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 1)
+        graph.remove_edge(0, 1)
+        assert graph.version == v0 + 3
+
+    def test_copy_does_not_share_cache(self):
+        graph = random_connected(8, 0.4, seed=2)
+        view = csr_view(graph)
+        clone = graph.copy()
+        assert csr_view(clone) is not view
+
+    def test_empty_graph(self):
+        graph = WeightedGraph(0)
+        view = csr_view(graph)
+        assert view.num_vertices == 0
+        assert view.num_directed_edges == 0
+
+
+class TestRelaxKernel:
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_hop_by_hop(self, seed):
+        n = 20 + 2 * seed
+        graph = random_connected(n, 4.0 / n, max_weight=9, seed=seed)
+        view = csr_view(graph)
+        if view.vectorized:
+            import numpy as np
+            dist = np.full(n, INF)
+        else:
+            dist = [INF] * n
+        dist[0] = 0.0
+        ref_dist = [INF] * n
+        ref_dist[0] = 0.0
+        frontier = [0]
+        for _ in range(n):
+            if not len(frontier):
+                break
+            targets, dists, vias = relax_frontier(view, dist, frontier)
+            r_targets, r_dists, r_vias = reference_relax(graph, ref_dist,
+                                                         frontier)
+            assert [int(t) for t in targets] == r_targets
+            assert [float(d) for d in dists] == r_dists
+            assert [int(v) for v in vias] == r_vias
+            for t, d in zip(r_targets, r_dists):
+                dist[t] = d
+                ref_dist[t] = d
+            frontier = r_targets
+
+    def test_alternate_weight_array(self):
+        graph = random_connected(15, 0.3, max_weight=7, seed=3)
+        view = csr_view(graph)
+        if view.vectorized:
+            import numpy as np
+            doubled = view.weights_f64() * 2.0
+            dist = np.full(15, INF)
+        else:
+            doubled = [w * 2 for w in view.weights]
+            dist = [INF] * 15
+        dist[0] = 0.0
+        targets, dists, _vias = relax_frontier(view, dist, [0], doubled)
+        for t, d in zip(targets, dists):
+            assert d == 2 * graph.weight(0, int(t))
+
+    def test_empty_frontier_and_isolated_vertex(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1)
+        view = csr_view(graph)
+        dist = [INF, INF, INF]
+        assert relax_frontier(view, dist, []) == ((), (), ())
+        # vertex 2 is isolated: relaxing from it yields nothing
+        dist2 = [INF, INF, 0.0]
+        assert relax_frontier(view, dist2, [2]) == ((), (), ())
+
+    def test_frontier_neighbors_union(self):
+        graph = random_connected(18, 0.25, seed=6)
+        view = csr_view(graph)
+        expected = sorted({v for u in (0, 5, 9)
+                           for v in graph.neighbors(u)})
+        got = [int(v) for v in frontier_neighbors(view, [0, 5, 9])]
+        assert got == expected
+        assert len(frontier_neighbors(view, [])) == 0
+
+
+class TestFallbackKernel:
+    """Same contract with numpy forced off (list-backed views)."""
+
+    @pytest.fixture(autouse=True)
+    def _force_fallback(self, monkeypatch):
+        monkeypatch.setattr(csr_module, "HAVE_NUMPY", False)
+
+    def test_fallback_matches_reference(self):
+        graph = random_connected(24, 0.2, max_weight=9, seed=11)
+        view = csr_view(graph)
+        assert not view.vectorized
+        dist = [INF] * 24
+        dist[0] = 0.0
+        frontier = [0]
+        for _ in range(24):
+            if not frontier:
+                break
+            got = relax_frontier(view, dist, frontier)
+            ref = reference_relax(graph, dist, frontier)
+            assert [list(part) for part in got] == \
+                [list(part) for part in ref]
+            for t, d in zip(ref[0], ref[1]):
+                dist[t] = d
+            frontier = ref[0]
+
+    def test_numpy_reappearing_rebuilds_view(self, monkeypatch):
+        graph = random_connected(10, 0.3, seed=1)
+        fallback_view = csr_view(graph)
+        assert not fallback_view.vectorized
+        monkeypatch.setattr(csr_module, "HAVE_NUMPY",
+                            csr_module._np is not None)
+        view = csr_view(graph)
+        assert view.vectorized == (csr_module._np is not None)

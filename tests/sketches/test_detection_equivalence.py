@@ -1,0 +1,140 @@
+"""Differential harness: batched source detection against its oracle.
+
+Every graph × mode × parameter case runs both :func:`detect_sources`
+(the batched ``|V'| × n`` matrix path over the CSR scatter-min kernel)
+and :func:`detect_sources_reference` (the original per-source,
+per-scale loops) and the results must be *bit-identical*: estimates,
+Remark-1 parents, the sorted source echo and the charged rounds.  The
+same grid re-runs with numpy disabled to pin the pure-Python fallback
+to the same contract.
+"""
+
+import pytest
+
+import repro.graphs.csr as csr_module
+import repro.sketches.source_detection as sd_module
+from repro.graphs import (
+    grid,
+    path,
+    random_connected,
+    ring_of_cliques,
+)
+from repro.sketches import detect_sources, detect_sources_reference
+
+
+def _graph_cases():
+    """~15 seeded graphs spanning the workload families."""
+    cases = []
+    for seed in range(10):
+        n = 16 + 3 * seed
+        cases.append((f"random-{seed}",
+                      random_connected(n, 4.5 / n, seed=seed)))
+    for seed in (100, 101):
+        cases.append((f"dense-{seed}",
+                      random_connected(22, 0.3, max_weight=40, seed=seed)))
+    cases.append(("grid", grid(5, 5, seed=7)))
+    cases.append(("path", path(18, seed=9)))
+    cases.append(("cliques", ring_of_cliques(4, 5, seed=10)))
+    return cases
+
+
+GRAPHS = _graph_cases()
+GRAPH_IDS = [name for name, _ in GRAPHS]
+
+
+def _assert_identical(fast, ref):
+    assert fast.sources == ref.sources
+    assert fast.estimate == ref.estimate
+    assert fast.parent == ref.parent
+    assert fast.rounds == ref.rounds
+    assert fast.hop_bound == ref.hop_bound
+    assert fast.mode == ref.mode
+
+
+def _run_case(graph, sources, hop_bound, eps, mode):
+    ref = detect_sources_reference(graph, sources, hop_bound, eps,
+                                   mode=mode)
+    fast = detect_sources(graph, sources, hop_bound, eps, mode=mode)
+    _assert_identical(fast, ref)
+    return ref
+
+
+class TestDifferentialEquivalence:
+
+    @pytest.mark.parametrize("mode", ["rounded", "exact"])
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=GRAPH_IDS)
+    def test_modes_and_graphs(self, name, graph, mode):
+        n = graph.num_vertices
+        _run_case(graph, [0, n // 2, n - 1], 6, 0.25, mode)
+
+    @pytest.mark.parametrize("name,graph", GRAPHS[:6], ids=GRAPH_IDS[:6])
+    def test_parameter_grid(self, name, graph):
+        """Hop bounds (including 0), eps extremes, many sources."""
+        n = graph.num_vertices
+        for mode in ("rounded", "exact"):
+            _run_case(graph, [0], 1, 0.5, mode)
+            _run_case(graph, [2], 0, 0.3, mode)
+            _run_case(graph, list(range(0, n, 4)), n, 0.1, mode)
+            _run_case(graph, list(range(n)), 3, 0.8, mode)
+
+    def test_duplicate_sources_collapse(self):
+        graph = random_connected(20, 0.2, seed=3)
+        ref = _run_case(graph, [4, 4, 9, 9, 9], 5, 0.3, "rounded")
+        assert ref.sources == [4, 9]
+
+    def test_matrix_limit_fallback_identical(self, monkeypatch):
+        """Over the memory gate the per-row path must still match."""
+        monkeypatch.setattr(sd_module, "_MATRIX_CELL_LIMIT", 1)
+        graph = random_connected(24, 0.2, seed=21)
+        for mode in ("rounded", "exact"):
+            _run_case(graph, [0, 11, 23], 7, 0.3, mode)
+
+    def test_value_types_match_reference(self):
+        """Exact mode keeps integer sums; rounded mode keeps floats.
+
+        Asserted on *both* implementations: `==` cannot distinguish
+        ``5`` from ``5.0``, so the differential checks alone would miss
+        a type drift on either side.
+        """
+        graph = random_connected(18, 0.25, seed=12)
+        for impl in (detect_sources, detect_sources_reference):
+            exact = impl(graph, [0, 9], 6, 0.3, mode="exact")
+            for row in exact.estimate:
+                for value in row.values():
+                    assert isinstance(value, int), impl.__name__
+            rounded = impl(graph, [0, 9], 6, 0.3, mode="rounded")
+            for u, row in enumerate(rounded.estimate):
+                for s, value in row.items():
+                    if u == s:
+                        # never relaxed: the initialization's int 0
+                        assert isinstance(value, int), impl.__name__
+                    else:
+                        assert isinstance(value, float), impl.__name__
+
+
+class TestNoNumpyFallback:
+    """The pure-Python batched path against the oracle.
+
+    ``HAVE_NUMPY`` is flipped on the CSR module; the view cache is
+    keyed by it, so fresh list-backed views (and the scalar kernel)
+    serve these cases.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _force_fallback(self, monkeypatch):
+        monkeypatch.setattr(csr_module, "HAVE_NUMPY", False)
+
+    @pytest.mark.parametrize("mode", ["rounded", "exact"])
+    @pytest.mark.parametrize("name,graph", GRAPHS[::3],
+                             ids=GRAPH_IDS[::3])
+    def test_fallback_matches_oracle(self, name, graph, mode):
+        n = graph.num_vertices
+        assert not csr_module.csr_view(graph).vectorized
+        _run_case(graph, [0, n // 2, n - 1], 6, 0.25, mode)
+        _run_case(graph, list(range(0, n, 5)), n, 0.15, mode)
+
+    def test_fallback_view_is_list_backed(self):
+        graph = path(6, seed=1)
+        view = csr_module.csr_view(graph)
+        assert isinstance(view.indptr, list)
+        assert isinstance(view.indices, list)
