@@ -54,14 +54,7 @@ from repro.sketches import detect_sources, detect_sources_reference
 REQUIRED_DETECTION_SPEEDUP = 3.0
 
 
-def _best_of(repeats, fn):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+from bench_timing import best_of as _best_of
 
 
 def _assert_detection_identical(fast, ref):

@@ -52,14 +52,7 @@ REQUIRED_BATCH_SPEEDUP = 1.1
 REQUIRED_ESTIMATION_SPEEDUP = 1.5
 
 
-def _best_of(repeats, fn):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+from bench_timing import best_of as _best_of
 
 
 def measure_query_throughput(n=128, k=3, pairs=10_000, seed=1,

@@ -1,0 +1,231 @@
+"""[E9] Sharded serving throughput: RouterPool vs single-process batch.
+
+The PR 2 batch path serves one process's worth of hardware; the pool
+shards each batch across worker processes sharing one copy of the
+compiled tables.  This benchmark builds a scheme once, then answers
+the same large batch:
+
+* **single** — ``CompiledScheme.route_many`` in-process (the PR 2
+  baseline);
+* **pool-W** — ``RouterPool(workers=W).route_many`` for each worker
+  count, measured with the pool already warm (startup is reported
+  separately, it amortizes over a pool's lifetime);
+
+and the same for estimation.  Correctness is asserted in-run: every
+pool result must be bit-identical to the single-process batch, so a
+speedup can never come from serving something else.
+
+Scaling honesty: process parallelism cannot exceed the machine.  The
+record therefore carries ``cpu_count`` and a ``parallel_headroom``
+next to every speedup, and the ≥2x at-4-workers gate is asserted only
+when the host actually has ≥4 cores (single-core CI containers would
+otherwise "fail" physics, not the code).  On a single core the
+expected result is ~1x minus IPC overhead — see
+``src/repro/serving/README.md`` ("When is the pool worth it?").
+
+Usage::
+
+    python benchmarks/bench_sharded_serving.py
+    python benchmarks/bench_sharded_serving.py --n 48 --pairs 2000 \
+        --workers 1 2 --repeats 1 --out /tmp/sharded.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import sample_pairs
+from repro.pipeline import SchemePipeline
+from repro.serving import RouterPool
+
+#: Required pool speedup at 4 workers vs a 1-worker pool on the
+#: routing workload — asserted only on hosts with >= 4 cores.
+REQUIRED_SPEEDUP_AT_4 = 2.0
+
+
+from bench_timing import best_of as _best_of
+
+
+def measure_sharded_serving(n=256, k=3, pairs=40_000, seed=1,
+                            repeats=3, workers=(1, 2, 4),
+                            policy="round-robin", start_method=None):
+    """Build once, serve the same batch every way; returns the record.
+
+    ``start_method`` defaults to ``REPRO_START_METHOD`` from the
+    environment (the CI serving matrix sets it), then to the platform
+    default — so the spawn CI leg actually benchmarks spawn pools.
+    """
+    if start_method is None:
+        start_method = os.environ.get("REPRO_START_METHOD") or None
+    pipeline = (SchemePipeline().workload("random", n).params(k)
+                .seed(seed))
+    compiled = pipeline.compile()
+    compiled_est = pipeline.compile_estimation()
+    actual_n = compiled.num_vertices
+    query_pairs = sample_pairs(actual_n, pairs, random.Random(seed))
+    count = len(query_pairs)
+
+    t_single, base = _best_of(
+        repeats, lambda: compiled.route_many(query_pairs))
+    te_single, e_base = _best_of(
+        repeats, lambda: compiled_est.estimate_many(query_pairs))
+
+    cpu_count = os.cpu_count() or 1
+    record = {
+        "benchmark": "sharded_serving",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "requested_n": n,
+        "num_vertices": actual_n,
+        "k": k,
+        "pairs": count,
+        "repeats": repeats,
+        "policy": policy,
+        "start_method": start_method or "default",
+        "routing": {
+            "single_seconds": round(t_single, 6),
+            "single_rps": round(count / t_single, 1),
+            "pool": {},
+        },
+        "estimation": {
+            "single_seconds": round(te_single, 6),
+            "single_rps": round(count / te_single, 1),
+            "pool": {},
+        },
+    }
+
+    pool_times = {}
+    for w in workers:
+        with RouterPool(compiled, workers=w, policy=policy,
+                        start_method=start_method) as pool:
+            t_start = time.perf_counter()
+            warm = pool.route_many(query_pairs[:64])
+            startup = time.perf_counter() - t_start
+            assert warm == base[:64]
+            t_pool, got = _best_of(
+                repeats, lambda: pool.route_many(query_pairs))
+            assert got == base, "pool must be bit-identical"
+            transport = pool.transport
+        pool_times[w] = t_pool
+        record["routing"]["pool"][str(w)] = {
+            "seconds": round(t_pool, 6),
+            "rps": round(count / t_pool, 1),
+            "first_batch_seconds": round(startup, 6),
+            "speedup_vs_single": round(t_single / t_pool, 3),
+            "parallel_headroom": min(w, cpu_count),
+            "transport": transport,
+        }
+        with RouterPool(compiled_est, workers=w, policy=policy,
+                        start_method=start_method) as pool:
+            te_pool, e_got = _best_of(
+                repeats, lambda: pool.estimate_many(query_pairs))
+            assert e_got == e_base, "pool must be bit-identical"
+        record["estimation"]["pool"][str(w)] = {
+            "seconds": round(te_pool, 6),
+            "rps": round(count / te_pool, 1),
+            "speedup_vs_single": round(te_single / te_pool, 3),
+            "parallel_headroom": min(w, cpu_count),
+        }
+
+    # scaling baseline: honest key naming — "speedup_vs_workers1"
+    # exists only when a 1-worker pool was actually measured
+    base_w = min(pool_times)
+    record["routing"]["scaling_baseline_workers"] = base_w
+    for w, t in pool_times.items():
+        record["routing"]["pool"][str(w)][
+            f"speedup_vs_workers{base_w}"] = \
+            round(pool_times[base_w] / t, 3)
+
+    # the other sharding policy must serve the same bits (spot check)
+    other = "source-hash" if policy == "round-robin" else "round-robin"
+    with RouterPool(compiled, workers=max(workers), policy=other,
+                    start_method=start_method) as pool:
+        assert pool.route_many(query_pairs[:512]) == base[:512]
+    record["cross_policy_checked"] = other
+
+    if cpu_count == 1:
+        record["note"] = (
+            "single-core host: process parallelism cannot exceed 1x, "
+            "so pool speedups here measure IPC overhead only; the "
+            ">=2x at 4 workers gate needs >=4 cores")
+    return record
+
+
+def _print_record(record):
+    r = record["routing"]
+    e = record["estimation"]
+    base_w = r.get("scaling_baseline_workers", 1)
+    print(f"[E9] routing     n={record['num_vertices']:<4} "
+          f"pairs={record['pairs']:<6} cpus={record['cpu_count']} "
+          f"single={r['single_rps']:>10.0f}/s "
+          f"[{record['start_method']}]")
+    for w, row in r["pool"].items():
+        scaling = row.get(f"speedup_vs_workers{base_w}", 1.0)
+        print(f"[E9]   pool w={w}: {row['rps']:>10.0f}/s  "
+              f"vs single {row['speedup_vs_single']:.2f}x  "
+              f"vs w{base_w} {scaling:.2f}x  "
+              f"({row['transport']})")
+    print(f"[E9] estimation  single={e['single_rps']:>10.0f}/s")
+    for w, row in e["pool"].items():
+        print(f"[E9]   pool w={w}: {row['rps']:>10.0f}/s  "
+              f"vs single {row['speedup_vs_single']:.2f}x")
+    if "note" in record:
+        print(f"[E9] note: {record['note']}")
+
+
+@pytest.mark.artifact("E9")
+def bench_sharded_serving(benchmark):
+    """Pool equivalence under timing load + the scaling gate where the
+    hardware can express it."""
+    record = benchmark.pedantic(
+        lambda: measure_sharded_serving(n=96, pairs=4000, repeats=1,
+                                        workers=(1, 2, 4)),
+        rounds=1, iterations=1)
+    print()
+    _print_record(record)
+    four = record["routing"]["pool"].get("4")
+    scaling = (four or {}).get("speedup_vs_workers1")
+    if record["cpu_count"] >= 4 and scaling is not None:
+        assert scaling >= REQUIRED_SPEEDUP_AT_4
+    # bit-identity was asserted in-run on every pool; on any host a
+    # warm 4-worker pool must not collapse (queue protocol overhead
+    # is bounded), even when it cannot win
+    if scaling is not None:
+        assert scaling >= 0.2
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--pairs", type=int, default=40_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[1, 2, 4])
+    parser.add_argument("--policy", default="round-robin")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "results"
+                        / "sharded_serving.json")
+    args = parser.parse_args(argv)
+    record = measure_sharded_serving(
+        n=args.n, k=args.k, pairs=args.pairs, seed=args.seed,
+        repeats=args.repeats, workers=tuple(args.workers),
+        policy=args.policy)
+    _print_record(record)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[E9] record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

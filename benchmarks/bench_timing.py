@@ -1,0 +1,20 @@
+"""Shared timing helper for the benchmark scripts.
+
+One definition so a methodology change (median instead of min, warmup
+exclusion, ...) cannot silently diverge between benches.
+"""
+
+import time
+
+
+def best_of(repeats, fn):
+    """Run ``fn`` ``repeats`` times; return (best wall time, last
+    result).  Min-of-N is the standard noise filter for short,
+    deterministic workloads."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result

@@ -77,6 +77,15 @@ def main() -> None:
     print("  OK: compiled artifact bit-identical to the live scheme "
           f"on {len(pairs)} more pairs")
 
+    print("\nStage 4 — scale out: sharded serving pool...")
+    from repro.serving import RouterPool
+    with RouterPool(served, workers=2) as pool:
+        pooled = pool.route_many(pairs)
+        print(f"  {pool!r}")
+    assert pooled == served.route_many(pairs)
+    print(f"  OK: {len(pairs)} queries served from "
+          f"{2} worker processes, bit-identical to in-process serving")
+
 
 if __name__ == "__main__":
     main()

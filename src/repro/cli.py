@@ -7,7 +7,11 @@ build      Build the routing scheme on a generated workload, print the
            serve-side artifact (``--out scheme.cra``).
 query      Load a saved artifact (routing or estimation) and answer
            pairs — from ``--pairs-file``, ``--pair u v`` flags, or
-           stdin — without reconstructing anything.
+           stdin — without reconstructing anything.  ``--workers N``
+           serves the batch from a sharded process pool
+           (``--policy`` picks the sharding policy); ``--out FILE``
+           switches to batch-file mode and writes one tab-separated
+           result per line instead of pretty-printing.
 route      Build, then route one packet and print the path and stretch.
 table1     Regenerate Table 1 on a workload.
 estimate   Build the Theorem-6 sketches and answer distance queries;
@@ -39,6 +43,7 @@ from .analysis import (
 from .congest import DEFAULT_ENGINE, available_engines
 from .core.compiled import CompiledScheme, load_artifact
 from .pipeline import WORKLOADS, SchemePipeline
+from .serving import RouterPool, available_policies
 
 #: Number of random demo pairs ``query`` serves when given none.
 _QUERY_DEMO_PAIRS = 5
@@ -134,6 +139,23 @@ def _read_pairs(args: argparse.Namespace, n: int,
             for _ in range(_QUERY_DEMO_PAIRS)]
 
 
+def _serve_pairs(artifact, pairs, args) -> Tuple[List, str]:
+    """Answer the batch in-process or through a sharded pool."""
+    routing = isinstance(artifact, CompiledScheme)
+    if args.workers:
+        with RouterPool(artifact, workers=args.workers,
+                        policy=args.policy) as pool:
+            results = (pool.route_many(pairs) if routing
+                       else pool.estimate_many(pairs))
+            mode = (f"pool of {pool.workers} workers "
+                    f"({pool.policy}, {pool.transport} transport)")
+    else:
+        results = (artifact.route_many(pairs) if routing
+                   else artifact.estimate_many(pairs))
+        mode = "in-process"
+    return results, mode
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     artifact = load_artifact(args.artifact)
     n = artifact.num_vertices
@@ -145,8 +167,24 @@ def cmd_query(args: argparse.Namespace) -> int:
     if not pairs:
         print("no query pairs supplied")
         return 1
-    if isinstance(artifact, CompiledScheme):
-        for result in artifact.route_many(pairs):
+    routing = isinstance(artifact, CompiledScheme)
+    results, mode = _serve_pairs(artifact, pairs, args)
+    if args.out:
+        # batch-file mode: machine-readable TSV, no per-query chatter
+        with open(args.out, "w") as fh:
+            if routing:
+                fh.write("# source\ttarget\tweight\thops\tpath\n")
+                for r in results:
+                    fh.write(f"{r.source}\t{r.target}\t{r.weight:.17g}"
+                             f"\t{r.hops}\t"
+                             f"{'-'.join(map(str, r.path))}\n")
+            else:
+                fh.write("# u\tv\testimate\n")
+                for (u, v), est in zip(pairs, results):
+                    fh.write(f"{u}\t{v}\t{est:.17g}\n")
+        print(f"wrote {len(results)} results to {args.out}")
+    elif routing:
+        for result in results:
             path = " -> ".join(map(str, result.path[:8]))
             if len(result.path) > 8:
                 path += f" ... ({result.hops} hops)"
@@ -155,10 +193,9 @@ def cmd_query(args: argparse.Namespace) -> int:
                   f"{result.found_level}, tree {result.tree_center}, "
                   f"path {path}")
     else:
-        for (u, v), estimate in zip(pairs,
-                                    artifact.estimate_many(pairs)):
+        for (u, v), estimate in zip(pairs, results):
             print(f"  dist({u},{v}) ~ {estimate:.0f}")
-    print(f"served {len(pairs)} queries from the artifact "
+    print(f"served {len(pairs)} queries from the artifact via {mode} "
           "(no reconstruction)")
     return 0
 
@@ -267,6 +304,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--seed", type=int, default=0,
                          help="seed for the demo pairs when no input "
                               "is given")
+    p_query.add_argument("--workers", type=int, default=0,
+                         metavar="N",
+                         help="serve through a sharded pool of N "
+                              "worker processes (0 = in-process)")
+    p_query.add_argument("--policy",
+                         choices=available_policies(),
+                         default="round-robin",
+                         help="sharding policy for --workers")
+    p_query.add_argument("--out", metavar="FILE",
+                         help="batch-file mode: write tab-separated "
+                              "results to FILE instead of printing "
+                              "each query")
     p_query.set_defaults(func=cmd_query)
 
     p_route = sub.add_parser("route", help="route one packet")

@@ -29,11 +29,26 @@ grouping by target so per-label preparation is paid once per distinct
 target instead of once per query; the hot loops index flat Python lists
 bound to locals (faster than attribute-chasing dataclasses for the
 scalar, branchy forwarding protocol).
+
+Sharded serving (``repro.serving``) adds a second transport next to the
+file format: :meth:`~_CompiledArtifact.export_buffers` flattens an
+artifact into a JSON-able header plus one packed payload — the same
+little-endian array layout as the on-disk format, minus the framing —
+and :func:`attach_artifact` reconstructs a serving object from that
+header plus *any* buffer-protocol object holding the bytes.  With numpy
+the attach is zero-copy (``frombuffer`` views straight into, e.g., a
+``multiprocessing.shared_memory`` block); the stdlib fallback decodes
+through ``array.frombytes`` (one copy per attaching process).  Both
+batch methods validate their input through the shared
+:func:`validate_pairs` prepass, so the process pool can run the *same*
+check parent-side and malformed batches raise the same exception type
+at the same offending pair no matter which path serves them.
 """
 
 from __future__ import annotations
 
 import json
+import operator
 import struct
 import sys
 from array import array
@@ -70,24 +85,6 @@ def _pack_values(typecode: str, values: Sequence) -> bytes:
     if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
         arr.byteswap()
     return arr.tobytes()
-
-
-def _unpack_values(typecode: str, count: int, payload: bytes,
-                   offset: int) -> Tuple[list, int]:
-    nbytes = count * _ITEM_BYTES
-    chunk = payload[offset:offset + nbytes]
-    if len(chunk) != nbytes:
-        raise ArtifactError(
-            f"truncated artifact payload: wanted {nbytes} bytes at "
-            f"offset {offset}, found {len(chunk)}")
-    if _np is not None:
-        dtype = "<i8" if typecode == _INT else "<f8"
-        return _np.frombuffer(chunk, dtype=dtype).tolist(), offset + nbytes
-    arr = array(typecode)
-    arr.frombytes(chunk)
-    if sys.byteorder == "big":  # pragma: no cover
-        arr.byteswap()
-    return arr.tolist(), offset + nbytes
 
 
 def _check_contents(meta: Dict, arrays: Dict[str, list],
@@ -139,16 +136,222 @@ def _read_artifact(path: Union[str, Path]
         raise ArtifactError(f"{path}: corrupt artifact header: {exc}") \
             from None
     payload = data[header_end:]
+    declared = sum(count for _n, _tc, count in header["arrays"]) \
+        * _ITEM_BYTES
+    if len(payload) > declared:
+        raise ArtifactError(
+            f"{path}: {len(payload) - declared} trailing bytes after "
+            "the declared arrays")
+    arrays = _attach_arrays(header["arrays"], payload,
+                            materialize=True)
+    return header["kind"], header["meta"], arrays
+
+
+# ----------------------------------------------------------------------
+# Batch input validation (shared with the sharded serving pool)
+# ----------------------------------------------------------------------
+def _as_batch(pairs) -> Sequence:
+    """Materialize one-shot iterables: the batch paths iterate their
+    input more than once (validate, then serve), so a generator would
+    otherwise validate fine and then silently serve nothing."""
+    return pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+
+
+def validate_pairs(pairs: Sequence, n: int, noun: str = "route") -> None:
+    """Validate a batch of ``(u, v)`` queries against vertex range ``n``.
+
+    This is the *single* validation authority for every batch serve
+    path: :meth:`CompiledScheme.route_many`,
+    :meth:`CompiledEstimation.estimate_many` and the parent side of
+    ``repro.serving.RouterPool`` all call it before doing any work.
+    That guarantee is load-bearing for the pool — a malformed batch
+    must raise the same exception type, naming the same offending pair,
+    whether it is served in-process or sharded across workers, and it
+    must never reach (let alone crash) a worker process.
+    """
+    index = operator.index
+    for idx, pair in enumerate(pairs):
+        try:
+            u, v = pair
+        except (TypeError, ValueError):
+            raise ParameterError(
+                f"pair #{idx} is not a (source, target) pair: "
+                f"{pair!r}") from None
+        try:  # accept anything usable as a flat-array index
+            u, v = index(u), index(v)
+        except TypeError:  # float, str, None, ... endpoints
+            raise ParameterError(
+                f"{noun} endpoints ({u!r}, {v!r}) are not vertex "
+                f"indices at pair #{idx}") from None
+        if not (0 <= u < n and 0 <= v < n):
+            raise ParameterError(
+                f"{noun} endpoints ({u}, {v}) out of range at "
+                f"pair #{idx} (n={n})")
+
+
+# ----------------------------------------------------------------------
+# Buffer export / attach: the shared-memory transport
+# ----------------------------------------------------------------------
+class ArtifactBuffers(NamedTuple):
+    """One compiled artifact flattened to ``(header, payload)``.
+
+    ``payload`` uses the exact packed little-endian layout of the
+    on-disk format's array section (no magic/version framing — the
+    header travels as a plain dict).  It can be dropped byte-for-byte
+    into a ``multiprocessing.shared_memory`` block and re-attached in
+    another process with :func:`attach_artifact`.
+    """
+
+    kind: str
+    meta: Dict
+    manifest: Tuple[Tuple[str, str, int], ...]
+    payload: bytes
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def header(self) -> Dict:
+        """The JSON-able description workers need next to the bytes."""
+        return {"kind": self.kind, "meta": dict(self.meta),
+                "arrays": [list(row) for row in self.manifest]}
+
+
+def _attach_arrays(manifest: Sequence, buffer,
+                   materialize: bool) -> Dict[str, list]:
+    """Decode a packed payload *in place* from any buffer object —
+    the single byte-layout decoder behind both :func:`_read_artifact`
+    (``materialize=True``) and the shared-memory attach path.
+
+    With numpy and ``materialize=False`` each array is a
+    ``frombuffer`` view into ``buffer`` — zero copies, which is the
+    whole point of parking the payload in shared memory; the stdlib
+    fallback copies via ``array.frombytes``.  Trailing bytes beyond
+    the manifest are tolerated here (shared-memory blocks round their
+    size up to a page); the file loader rejects them itself.
+    """
+    mv = memoryview(buffer)
     arrays: Dict[str, list] = {}
     offset = 0
-    for name, typecode, count in header["arrays"]:
-        arrays[name], offset = _unpack_values(typecode, count, payload,
-                                              offset)
-    if offset != len(payload):
-        raise ArtifactError(
-            f"{path}: {len(payload) - offset} trailing bytes after "
-            "the declared arrays")
-    return header["kind"], header["meta"], arrays
+    for name, typecode, count in manifest:
+        nbytes = count * _ITEM_BYTES
+        chunk = mv[offset:offset + nbytes]
+        if len(chunk) != nbytes:
+            raise ArtifactError(
+                f"truncated artifact payload: array {name!r} wanted "
+                f"{nbytes} bytes at offset {offset}, found "
+                f"{len(chunk)}")
+        if _np is not None:
+            dtype = "<i8" if typecode == _INT else "<f8"
+            view = _np.frombuffer(chunk, dtype=dtype)
+            arrays[name] = view.tolist() if materialize else view
+        else:
+            arr = array(typecode)
+            arr.frombytes(chunk)
+            if sys.byteorder == "big":  # pragma: no cover
+                arr.byteswap()
+            arrays[name] = arr.tolist() if materialize else arr
+        offset += nbytes
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# Shared artifact machinery (persistence, export, metadata)
+# ----------------------------------------------------------------------
+class _CompiledArtifact:
+    """Everything :class:`CompiledScheme` and
+    :class:`CompiledEstimation` share: flat-array storage keyed by
+    ``_FIELDS``, the versioned file format, the buffer export/attach
+    transport, and the ``n``/``k`` metadata surface.  Subclasses build
+    their dict accelerators in :meth:`_post_init`."""
+
+    kind: str = ""
+    _FIELDS: Tuple[Tuple[str, str], ...] = ()
+
+    def __init__(self, meta: Dict, arrays: Dict[str, list]) -> None:
+        _check_contents(meta, arrays, self._FIELDS)
+        self._meta = dict(meta)
+        self._n = int(meta["n"])
+        self._k = int(meta["k"])
+        for name, _typecode in self._FIELDS:
+            setattr(self, "_" + name, arrays[name])
+        self._post_init()
+
+    def _post_init(self) -> None:
+        """Rebuild derived accelerators; overridden by subclasses."""
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the versioned artifact file (conventionally ``.cra``)."""
+        arrays = [(name, typecode, getattr(self, "_" + name))
+                  for name, typecode in self._FIELDS]
+        _write_artifact(path, self.kind, self._meta, arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]):
+        kind, meta, arrays = _read_artifact(path)
+        if kind != cls.kind:
+            raise ArtifactError(
+                f"{path}: artifact holds a {kind!r} scheme, not "
+                f"{cls.kind!r}")
+        return cls(meta, arrays)
+
+    # -- buffer transport ----------------------------------------------
+    def export_buffers(self) -> ArtifactBuffers:
+        """Flatten into header + one packed payload (see
+        :class:`ArtifactBuffers`).  One copy into the blob; numpy-backed
+        arrays (from a previous zero-copy attach) serialize without an
+        intermediate Python list."""
+        manifest: List[Tuple[str, str, int]] = []
+        chunks: List[bytes] = []
+        for name, typecode in self._FIELDS:
+            values = getattr(self, "_" + name)
+            manifest.append((name, typecode, len(values)))
+            if _np is not None and isinstance(values, _np.ndarray):
+                dtype = "<i8" if typecode == _INT else "<f8"
+                chunks.append(values.astype(dtype, copy=False).tobytes())
+            else:
+                chunks.append(_pack_values(typecode, values))
+        return ArtifactBuffers(self.kind, dict(self._meta),
+                               tuple(manifest), b"".join(chunks))
+
+    @classmethod
+    def attach(cls, header: Dict, buffer, materialize: bool = False):
+        """Reconstruct a serving artifact from :meth:`export_buffers`
+        output.  ``buffer`` is any buffer-protocol object holding the
+        payload (e.g. ``SharedMemory.buf``); with numpy the arrays stay
+        views into it, so the buffer must outlive the artifact.
+        ``materialize=True`` copies every array out into plain Python
+        lists — private memory, but the fastest layout for the scalar
+        forwarding loop."""
+        if header.get("kind") != cls.kind:
+            raise ArtifactError(
+                f"attach header holds a {header.get('kind')!r} "
+                f"artifact, not {cls.kind!r}")
+        arrays = _attach_arrays(header["arrays"], buffer, materialize)
+        return cls(header["meta"], arrays)
+
+    # -- serving helpers -----------------------------------------------
+    _pair_noun = "route"
+
+    def validate_pairs(self, pairs: Sequence) -> None:
+        """Run the shared batch-input prepass for this artifact — the
+        exact check the batch serve methods run, exposed so the sharded
+        pool can fail identically before dispatching anything."""
+        validate_pairs(pairs, self._n, self._pair_noun)
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def meta(self) -> Dict:
+        return dict(self._meta)
 
 
 # ----------------------------------------------------------------------
@@ -176,13 +379,14 @@ class CompiledRoute(NamedTuple):
         return len(self.path) - 1
 
 
-class CompiledScheme:
+class CompiledScheme(_CompiledArtifact):
     """Flat-array serve-side artifact of one routing scheme.
 
     Construct with :meth:`from_scheme` (or the convenience
     ``RoutingScheme.compile()``), persist with :meth:`save`, restore
-    with :meth:`load`.  All routing decisions replay the live scheme's
-    protocol bit for bit.
+    with :meth:`load`, ship across processes with
+    :meth:`export_buffers`/:meth:`attach`.  All routing decisions
+    replay the live scheme's protocol bit for bit.
     """
 
     kind = _KIND_ROUTING
@@ -206,16 +410,7 @@ class CompiledScheme:
         ("table_words", _INT), ("label_words", _INT),
     )
 
-    def __init__(self, meta: Dict, arrays: Dict[str, list]) -> None:
-        _check_contents(meta, arrays, self._FIELDS)
-        self._meta = dict(meta)
-        self._n = int(meta["n"])
-        self._k = int(meta["k"])
-        for name, _typecode in self._FIELDS:
-            setattr(self, "_" + name, arrays[name])
-        self._build_indexes()
-
-    def _build_indexes(self) -> None:
+    def _post_init(self) -> None:
         """Dict accelerators rebuilt from the flat arrays on load."""
         self._tid_of: Dict[int, int] = {
             c: tid for tid, c in enumerate(self._tree_center)}
@@ -343,35 +538,7 @@ class CompiledScheme:
         }
         return cls(meta, cols)
 
-    # -- persistence ---------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Write the versioned artifact file (conventionally ``.cra``)."""
-        arrays = [(name, typecode, getattr(self, "_" + name))
-                  for name, typecode in self._FIELDS]
-        _write_artifact(path, self.kind, self._meta, arrays)
-
-    @classmethod
-    def load(cls, path: Union[str, Path]) -> "CompiledScheme":
-        kind, meta, arrays = _read_artifact(path)
-        if kind != cls.kind:
-            raise ArtifactError(
-                f"{path}: artifact holds a {kind!r} scheme, not "
-                f"{cls.kind!r}")
-        return cls(meta, arrays)
-
     # -- reporting -----------------------------------------------------
-    @property
-    def num_vertices(self) -> int:
-        return self._n
-
-    @property
-    def k(self) -> int:
-        return self._k
-
-    @property
-    def meta(self) -> Dict:
-        return dict(self._meta)
-
     def max_table_words(self) -> int:
         return max(self._table_words)
 
@@ -410,6 +577,17 @@ class CompiledScheme:
         dispatch).  Results come back in input order and are identical
         to per-call :meth:`route`.
         """
+        pairs = _as_batch(pairs)
+        validate_pairs(pairs, self._n, "route")
+        return self._route_many_validated(pairs, max_hops)
+
+    def _route_many_validated(self, pairs: Sequence[Tuple[int, int]],
+                              max_hops: Optional[int] = None
+                              ) -> List[CompiledRoute]:
+        """:meth:`route_many` body, minus the input prepass.  The
+        serving pool dispatches workers here: the parent already ran
+        the same validation over the full batch, so shards skip the
+        per-pair checks on the hot path."""
         n = self._n
         k = self._k
         hop_budget = 4 * n + 4 if max_hops is None else max_hops
@@ -469,10 +647,6 @@ class CompiledScheme:
         results: List[Optional[CompiledRoute]] = [None] * len(pairs)
         by_target: Dict[int, List[Tuple[int, int]]] = {}
         for idx, (source, target) in enumerate(pairs):
-            if not 0 <= source < n or not 0 <= target < n:
-                raise ParameterError(
-                    f"route endpoints ({source}, {target}) out of "
-                    "range")
             by_target.setdefault(target, []).append((idx, source))
 
         for target, queries in by_target.items():
@@ -572,10 +746,11 @@ class CompiledScheme:
 # ----------------------------------------------------------------------
 # Compiled distance estimation
 # ----------------------------------------------------------------------
-class CompiledEstimation:
+class CompiledEstimation(_CompiledArtifact):
     """Flat-array serve-side artifact of the Theorem-6 sketches."""
 
     kind = _KIND_ESTIMATION
+    _pair_noun = "query"
 
     _FIELDS = (
         ("sk_pivot", _INT), ("sk_pivot_d", _FLOAT),
@@ -583,13 +758,7 @@ class CompiledEstimation:
         ("sketch_words", _INT),
     )
 
-    def __init__(self, meta: Dict, arrays: Dict[str, list]) -> None:
-        _check_contents(meta, arrays, self._FIELDS)
-        self._meta = dict(meta)
-        self._n = int(meta["n"])
-        self._k = int(meta["k"])
-        for name, _typecode in self._FIELDS:
-            setattr(self, "_" + name, arrays[name])
+    def _post_init(self) -> None:
         cv_start = self._cv_start
         cv_center = self._cv_center
         cv_value = self._cv_value
@@ -630,34 +799,7 @@ class CompiledEstimation:
                   "cv_value": cv_value, "sketch_words": sketch_words}
         return cls(meta, arrays)
 
-    # -- persistence ---------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        arrays = [(name, typecode, getattr(self, "_" + name))
-                  for name, typecode in self._FIELDS]
-        _write_artifact(path, self.kind, self._meta, arrays)
-
-    @classmethod
-    def load(cls, path: Union[str, Path]) -> "CompiledEstimation":
-        kind, meta, arrays = _read_artifact(path)
-        if kind != cls.kind:
-            raise ArtifactError(
-                f"{path}: artifact holds a {kind!r} scheme, not "
-                f"{cls.kind!r}")
-        return cls(meta, arrays)
-
     # -- reporting -----------------------------------------------------
-    @property
-    def num_vertices(self) -> int:
-        return self._n
-
-    @property
-    def k(self) -> int:
-        return self._k
-
-    @property
-    def meta(self) -> Dict:
-        return dict(self._meta)
-
     def max_sketch_words(self) -> int:
         return max(self._sketch_words)
 
@@ -675,6 +817,14 @@ class CompiledEstimation:
     def estimate_many(self, pairs: Sequence[Tuple[int, int]]
                       ) -> List[float]:
         """Batch Algorithm 2; returns estimates in input order."""
+        pairs = _as_batch(pairs)
+        validate_pairs(pairs, self._n, "query")
+        return self._estimate_many_validated(pairs)
+
+    def _estimate_many_validated(self, pairs: Sequence[Tuple[int, int]]
+                                 ) -> List[float]:
+        """:meth:`estimate_many` body, minus the input prepass (see
+        ``CompiledScheme._route_many_validated``)."""
         n = self._n
         k = self._k
         cluster_values = self._cluster_values
@@ -682,9 +832,6 @@ class CompiledEstimation:
         sk_pivot_d = self._sk_pivot_d
         out: List[float] = []
         for u, v in pairs:
-            if not 0 <= u < n or not 0 <= v < n:
-                raise ParameterError(
-                    f"query endpoints ({u}, {v}) out of range")
             if u == v:
                 out.append(0.0)
                 continue
@@ -717,3 +864,17 @@ def load_artifact(path: Union[str, Path]
     if kind == _KIND_ESTIMATION:
         return CompiledEstimation(meta, arrays)
     raise ArtifactError(f"{path}: unknown artifact kind {kind!r}")
+
+
+def attach_artifact(header: Dict, buffer, materialize: bool = False
+                    ) -> Union[CompiledScheme, CompiledEstimation]:
+    """Attach either artifact kind from :meth:`export_buffers` output,
+    dispatching on the header — the in-memory sibling of
+    :func:`load_artifact`."""
+    kind = header.get("kind")
+    if kind == _KIND_ROUTING:
+        return CompiledScheme.attach(header, buffer, materialize)
+    if kind == _KIND_ESTIMATION:
+        return CompiledEstimation.attach(header, buffer, materialize)
+    raise ArtifactError(f"unknown artifact kind {kind!r} in attach "
+                        "header")

@@ -51,6 +51,13 @@ class ArtifactError(SchemeError):
     (routing vs estimation) for the requested loader."""
 
 
+class ServingError(ReproError):
+    """Raised when the sharded serving pool is driven incorrectly or
+    loses a worker: serving on a closed pool, a worker that dies or
+    fails to attach the shared artifact, or an unusable transport for
+    the configured start method."""
+
+
 class HopsetError(ReproError):
     """Raised when a hopset fails validation or is used inconsistently."""
 

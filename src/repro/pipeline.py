@@ -13,6 +13,8 @@ fused two very different lifecycles: the *expensive, distributed* build
 ...          .build())              # -> BuildReport (measured rounds etc.)
 >>> compiled = built.pipeline.compile()   # -> CompiledScheme artifact
 >>> compiled.save("scheme.cra")           # ship the tables, not the build
+>>> with built.pipeline.serve(workers=4) as pool:   # scale out serving
+...     routes = pool.route_many(pairs)   # == compiled.route_many(pairs)
 
 Stages may be chained in any order before ``build()``; ``params()`` is
 the only mandatory one.  ``build()`` is cached — ``compile()`` and
@@ -282,6 +284,32 @@ class SchemePipeline:
         if self._compiled_estimation is None:
             self._compiled_estimation = self.build_estimation().compile()
         return self._compiled_estimation
+
+    def serve(self, workers: Optional[int] = None,
+              policy: str = "round-robin", kind: str = "routing",
+              **pool_kwargs) -> "RouterPool":
+        """Compile (building if needed) and open a sharded serving pool.
+
+        The final stage of the lifecycle: ``build() → compile() →
+        serve(workers=N)``.  Returns a
+        :class:`~repro.serving.RouterPool` — a context manager whose
+        ``route_many``/``estimate_many`` are bit-identical to the
+        compiled artifact's own batch methods, served from ``workers``
+        processes sharing one copy of the tables.  ``kind`` selects the
+        artifact: ``"routing"`` (default) or ``"estimation"``.
+        """
+        from .serving import RouterPool
+
+        if kind == "routing":
+            artifact = self.compile()
+        elif kind == "estimation":
+            artifact = self.compile_estimation()
+        else:
+            raise ParameterError(
+                f"unknown serve kind {kind!r}; choose 'routing' or "
+                "'estimation'")
+        return RouterPool(artifact, workers=workers, policy=policy,
+                          **pool_kwargs)
 
     def build_estimation(self) -> DistanceEstimation:
         """Clusters + sketches only (skips the tree-routing forest).

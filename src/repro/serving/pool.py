@@ -1,0 +1,436 @@
+"""`RouterPool`: process-parallel batch serving over one shared artifact.
+
+One pool = one compiled artifact + N persistent worker processes.  The
+artifact is shipped once through a transport (``shared.py``), each call
+to :meth:`RouterPool.route_many` / :meth:`RouterPool.estimate_many`
+partitions the batch with a sharding policy (``sharding.py``), workers
+serve their shards with the *same* single-process batch methods the
+artifact already has, and the parent merges results back in input
+order.  Because those batch methods are per-query deterministic, the
+merged output is bit-identical to calling the artifact directly — the
+contract pinned by ``tests/serving/test_pool_equivalence.py``.
+
+Lifecycle: the pool is a context manager with deterministic shutdown —
+``close()`` sentinels every worker, joins with a timeout, terminates
+stragglers, drains both queues and releases the transport (unlinking
+shared memory).  It is idempotent and also runs from the constructor's
+error path, so no exception leaks processes or shm segments.
+
+Error model: batch *input* errors are raised parent-side by the shared
+``validate_pairs`` prepass before anything is dispatched — same
+exception, same offending pair as the single-process path, and a bad
+query can never take a worker down.  Anything a worker itself raises
+mid-shard travels back over the result queue and re-raises in the
+caller; a worker *dying* (signal, OOM) surfaces as
+:class:`~repro.exceptions.ServingError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import operator
+import os
+import pickle
+import queue as _queue
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.compiled import CompiledEstimation, CompiledScheme, _as_batch
+from ..exceptions import ParameterError, ServingError
+from .sharding import resolve_policy
+from .shared import ArtifactHandle, attach_from_init, default_transport
+
+#: How long ``close()`` waits for workers to drain before terminating.
+_JOIN_TIMEOUT = 5.0
+
+#: How long workers get to attach + report ready at pool start.
+_READY_TIMEOUT = 60.0
+
+
+def _portable(exc: BaseException) -> BaseException:
+    """An exception safe to ship over the result queue.  ``mp.Queue``
+    pickles in a background feeder thread where failures vanish and
+    the parent would hang waiting, so the pickle check happens here."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ServingError(f"worker error (unpicklable "
+                            f"{type(exc).__name__}): {exc}")
+
+
+def _serve_shards(artifact, task_q, result_q) -> None:
+    """Serve shard tasks until the ``None`` sentinel.  Every serving
+    exception is shipped back as that shard's result — a failing shard
+    fails one call, never the worker."""
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        call_id, shard_id, method, pairs, kwargs = task
+        try:
+            out = getattr(artifact, method)(pairs, **kwargs)
+            result_q.put(("ok", (call_id, shard_id), out))
+        except BaseException as exc:
+            result_q.put(("err", (call_id, shard_id), _portable(exc)))
+        del task, pairs
+
+
+def _worker_main(init, task_q, result_q) -> None:
+    """Worker body: attach the shared artifact once, report readiness,
+    serve until the sentinel, then tear the mapping down in dependency
+    order (artifact first — its zero-copy arrays are views into the
+    segment — then the segment; the parent owns the unlink)."""
+    try:
+        artifact, shm = attach_from_init(init)
+    except BaseException as exc:
+        result_q.put(("fatal", os.getpid(), _portable(exc)))
+        return
+    result_q.put(("ready", os.getpid(), None))
+    try:
+        _serve_shards(artifact, task_q, result_q)
+    finally:
+        del artifact
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stray view alive
+                pass
+
+
+class RouterPool:
+    """Serve ``route_many``/``estimate_many`` from N worker processes
+    sharing one compiled artifact.
+
+    >>> with RouterPool(compiled, workers=4) as pool:
+    ...     routes = pool.route_many(pairs)      # == compiled.route_many(pairs)
+
+    Calls are thread-safe but serialized: one batch is in flight at a
+    time (parallelism lives *inside* the batch); multi-threaded
+    callers queue up on an internal lock.
+
+    Parameters
+    ----------
+    artifact:
+        A :class:`CompiledScheme` or :class:`CompiledEstimation`.
+        Routing pools answer :meth:`route_many`, estimation pools
+        :meth:`estimate_many`; asking the wrong kind raises
+        :class:`~repro.exceptions.ParameterError`.
+    workers:
+        Worker process count (default: ``os.cpu_count()``).  ``1`` is a
+        real single-worker pool — useful for measuring pool overhead;
+        for latency-sensitive small batches call the artifact directly.
+    policy:
+        Sharding policy name (see ``sharding.SHARDING_POLICIES``).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+    transport:
+        Artifact transport override (``None`` = auto; see
+        ``shared.default_transport``).
+    materialize:
+        Whether workers copy the attached arrays out into plain Python
+        lists (default ``True``).  The tables are small (KBs–MBs) and
+        list-backed serving is ~2x faster per route — and, more
+        importantly, produces plain-int results that pickle back to
+        the parent ~10x cheaper than numpy scalars.  ``False`` keeps
+        workers zero-copy on the shared segment: flat memory across
+        any number of workers, for artifacts too big to replicate.
+    shards_per_worker:
+        How many shards each batch is cut into per worker (default 4).
+        Workers pull shards off a shared queue, so oversharding both
+        load-balances and *streams*: the parent deserializes early
+        shards while workers still serve later ones.
+    """
+
+    def __init__(self, artifact, workers: Optional[int] = None,
+                 policy: str = "round-robin",
+                 start_method: Optional[str] = None,
+                 transport: Optional[str] = None,
+                 materialize: bool = True,
+                 shards_per_worker: int = 4) -> None:
+        # State first, so close() is safe from any failure below.
+        self._closed = False
+        self._procs: List = []
+        self._handle: Optional[ArtifactHandle] = None
+        self._task_q = None
+        self._result_q = None
+        self._call_counter = itertools.count()
+        # One batch in flight at a time: concurrent _serve calls would
+        # steal each other's shard results off the shared result queue
+        # and deadlock.  Caller threads serialize here; the batch
+        # itself is already parallel inside.
+        self._serve_lock = threading.Lock()
+
+        if not isinstance(artifact, (CompiledScheme,
+                                     CompiledEstimation)):
+            raise ParameterError(
+                "RouterPool serves compiled artifacts "
+                "(CompiledScheme/CompiledEstimation), got "
+                f"{type(artifact).__name__}")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = int(workers)
+        if workers < 1:
+            raise ParameterError(
+                f"RouterPool needs at least one worker, got {workers}")
+        if shards_per_worker < 1:
+            raise ParameterError(
+                f"shards_per_worker must be >= 1, got "
+                f"{shards_per_worker}")
+        self._shards_per_worker = int(shards_per_worker)
+        self._artifact = artifact
+        self._policy_name = policy
+        self._policy = resolve_policy(policy)
+        try:
+            ctx = mp.get_context(start_method)
+        except ValueError:
+            raise ParameterError(
+                f"unknown start method {start_method!r}; this "
+                f"platform offers {mp.get_all_start_methods()}"
+            ) from None
+        self._start_method = ctx.get_start_method()
+        self._transport_name = transport or \
+            default_transport(self._start_method)
+        try:
+            self._handle = ArtifactHandle(artifact,
+                                          self._transport_name,
+                                          self._start_method,
+                                          materialize=materialize)
+            self._task_q = ctx.Queue()
+            self._result_q = ctx.Queue()
+            for _ in range(workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(self._handle.init, self._task_q,
+                          self._result_q),
+                    daemon=True)
+                proc.start()
+                self._procs.append(proc)
+            self._await_ready()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- introspection -------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    @property
+    def policy(self) -> str:
+        return self._policy_name
+
+    @property
+    def transport(self) -> str:
+        return self._transport_name
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    @property
+    def pids(self) -> List[int]:
+        """Worker process ids (empty once closed), for monitoring and
+        the lifecycle tests."""
+        return [p.pid for p in self._procs]
+
+    @property
+    def shm_name(self) -> Optional[str]:
+        """Shared-memory segment name (``shm`` transport), for
+        lifecycle tests and external monitoring."""
+        return self._handle.shm_name if self._handle else None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"RouterPool(workers={self.workers}, "
+                f"policy={self._policy_name!r}, "
+                f"transport={self._transport_name!r}, "
+                f"start_method={self._start_method!r}, {state})")
+
+    # -- serving -------------------------------------------------------
+    def route_many(self, pairs: Sequence[Tuple[int, int]],
+                   max_hops: Optional[int] = None) -> List:
+        """Sharded :meth:`CompiledScheme.route_many`; bit-identical,
+        input order preserved."""
+        kwargs = {} if max_hops is None else {"max_hops": max_hops}
+        return self._serve("_route_many_validated", pairs, kwargs,
+                           CompiledScheme)
+
+    def estimate_many(self, pairs: Sequence[Tuple[int, int]]
+                      ) -> List[float]:
+        """Sharded :meth:`CompiledEstimation.estimate_many`."""
+        return self._serve("_estimate_many_validated", pairs, {},
+                           CompiledEstimation)
+
+    def _serve(self, method: str, pairs: Sequence, kwargs: dict,
+               required_cls) -> List:
+        if self._closed:
+            raise ServingError(
+                f"cannot call {method} on a closed RouterPool")
+        # Fail fast on a degraded pool: surviving workers *could* steal
+        # a dead sibling's shards off the shared queue, but serving at
+        # reduced capacity silently is worse than telling the caller.
+        self._check_liveness()
+        if not isinstance(self._artifact, required_cls):
+            raise ParameterError(
+                f"{method} needs a {required_cls.__name__}; this pool "
+                f"serves a {type(self._artifact).__name__}")
+        # Same validator, parent-side, *before* any dispatch: identical
+        # exceptions to the single-process path, and workers only ever
+        # see well-formed shards — which is why dispatch goes to the
+        # ``*_validated`` entry points (no re-validation per shard).
+        pairs = _as_batch(pairs)
+        self._artifact.validate_pairs(pairs)
+        if len(pairs) == 0:
+            return []
+        # Normalize to plain-int tuples before sharding: an exotic
+        # pair object that validates but cannot pickle would otherwise
+        # die silently in the task queue's feeder thread and hang the
+        # call — and plain ints pickle cheapest anyway.
+        index = operator.index
+        pairs = [(index(u), index(v)) for u, v in pairs]
+        with self._serve_lock:
+            return self._dispatch(method, pairs, kwargs)
+
+    def _dispatch(self, method: str, pairs: Sequence,
+                  kwargs: dict) -> List:
+        num_shards = len(self._procs) * self._shards_per_worker
+        shards = [idxs for idxs in
+                  self._policy(pairs, num_shards) if idxs]
+        call_id = next(self._call_counter)
+        for shard_id, idxs in enumerate(shards):
+            self._task_q.put((call_id, shard_id, method,
+                              [pairs[i] for i in idxs], kwargs))
+        results: List = [None] * len(pairs)
+        errors = {}
+        outstanding = len(shards)
+        while outstanding:
+            tag, key, payload = self._next_result()
+            if tag in ("ready", "fatal"):  # late startup noise
+                continue
+            got_call, shard_id = key
+            if got_call != call_id:  # stale shard from an aborted call
+                continue
+            outstanding -= 1
+            if tag == "err":
+                errors[shard_id] = payload
+            else:
+                for i, res in zip(shards[shard_id], payload):
+                    results[i] = res
+        if errors:
+            # Deterministic pick: the failing shard holding the
+            # earliest input positions (shards are emitted in order).
+            raise errors[min(errors)]
+        return results
+
+    def _next_result(self):
+        while True:
+            try:
+                return self._result_q.get(timeout=0.25)
+            except _queue.Empty:
+                self._check_liveness()
+
+    def _check_liveness(self) -> None:
+        dead = [p for p in self._procs if not p.is_alive()]
+        if dead:
+            codes = ", ".join(f"pid {p.pid} exit {p.exitcode}"
+                              for p in dead)
+            raise ServingError(
+                f"{len(dead)} pool worker(s) died while serving "
+                f"({codes}); close the pool and open a new one")
+
+    def _await_ready(self) -> None:
+        pending = len(self._procs)
+        deadline = time.monotonic() + _READY_TIMEOUT
+        while pending:
+            try:
+                tag, _who, info = self._result_q.get(timeout=0.25)
+            except _queue.Empty:
+                self._check_liveness()
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise ServingError(
+                        "pool workers failed to start in time")
+                continue
+            if tag == "fatal":
+                raise ServingError(
+                    "pool worker failed to attach the shared "
+                    "artifact") from info
+            if tag == "ready":
+                pending -= 1
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Deterministic shutdown; idempotent, exception-safe.
+
+        Sentinels every worker, joins with a timeout, escalates to
+        ``terminate``/``kill`` for stragglers, drains and closes both
+        queues, then releases the transport (unlinking the shared
+        memory segment).  After ``close()``,
+        ``multiprocessing.active_children()`` contains none of the
+        pool's workers and the shm name no longer resolves.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._task_q is not None:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(None)
+                except Exception:  # pragma: no cover - queue torn down
+                    break
+        deadline = time.monotonic() + _JOIN_TIMEOUT
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - hard hang
+                proc.kill()
+                proc.join(timeout=1.0)
+        for q in (self._task_q, self._result_q):
+            if q is None:
+                continue
+            try:
+                while True:
+                    q.get_nowait()
+            except Exception:
+                pass
+            try:
+                q.close()
+                # Never join_thread() here: with the workers gone there
+                # is no reader, so a feeder thread still flushing large
+                # buffered shards into the full pipe would block it —
+                # and this close() — forever.  Dropping in-flight data
+                # is exactly right at shutdown.
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        self._task_q = self._result_q = None
+        if self._handle is not None:
+            self._handle.close()
+        for proc in self._procs:
+            try:
+                proc.close()
+            except Exception:  # pragma: no cover
+                pass
+        self._procs = []
+
+    def __enter__(self) -> "RouterPool":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - safety net only
+        try:
+            self.close()
+        except Exception:
+            pass

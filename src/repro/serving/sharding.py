@@ -1,0 +1,84 @@
+"""Sharding policies: how one batch splits across pool workers.
+
+A policy is a pure function ``(pairs, num_shards) -> [index_list, ...]``
+returning, for each shard, the positions of the queries it serves.  The
+pool merges worker results back *by those indices*, so any partition is
+correct — the batch methods are per-query deterministic, which is what
+makes the whole pool bit-identical to single-process serving.  Policies
+therefore only differ in balance and locality:
+
+``round-robin``
+    Query ``i`` goes to shard ``i mod W``.  Near-perfect balance for
+    any input distribution; the default.
+
+``source-hash``
+    Shard by a mixed hash of the *source* vertex, so all queries from
+    one source travel in one shard — served contiguously by a single
+    worker per batch, the shape to pick when batches are per-user
+    bursts.  Balance depends on the source distribution.  Note the
+    affinity is per *batch*, not per pool lifetime: workers pull
+    shards off a shared queue, so the same source may be served by
+    different workers across batches.
+
+Policies must be deterministic across processes (no salted ``hash()``),
+because the equivalence harness replays the same partition on both
+sides of the fork.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..exceptions import ParameterError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    """splitmix64 finalizer: deterministic, well-distributed 64-bit mix
+    (``hash(int)`` is identity, which would turn ``source % W`` into a
+    striping pattern correlated with vertex ids)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def shard_round_robin(pairs: Sequence, num_shards: int
+                      ) -> List[List[int]]:
+    """Deal queries round-robin: query ``i`` -> shard ``i mod W``."""
+    shards: List[List[int]] = [[] for _ in range(num_shards)]
+    for i in range(len(pairs)):
+        shards[i % num_shards].append(i)
+    return shards
+
+
+def shard_source_hash(pairs: Sequence, num_shards: int
+                      ) -> List[List[int]]:
+    """Shard by hashed source vertex: one source, one shard."""
+    shards: List[List[int]] = [[] for _ in range(num_shards)]
+    for i, pair in enumerate(pairs):
+        shards[_mix(int(pair[0])) % num_shards].append(i)
+    return shards
+
+
+#: Policy name -> partition function; CLI ``--policy`` choices.
+SHARDING_POLICIES: Dict[str, Callable[[Sequence, int], List[List[int]]]] \
+    = {
+        "round-robin": shard_round_robin,
+        "source-hash": shard_source_hash,
+    }
+
+
+def available_policies() -> List[str]:
+    return sorted(SHARDING_POLICIES)
+
+
+def resolve_policy(name: str) -> Callable[[Sequence, int],
+                                          List[List[int]]]:
+    try:
+        return SHARDING_POLICIES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown sharding policy {name!r}; choose from "
+            f"{available_policies()}") from None

@@ -1,0 +1,151 @@
+"""Worker lifecycle robustness: deterministic shutdown, no leaks.
+
+`RouterPool` promises that no code path — normal exit, exception
+inside the ``with`` block, constructor failure, double close, even a
+SIGKILLed worker — leaves behind worker processes
+(``multiprocessing.active_children()``) or shared-memory segments
+(the segment name must stop resolving after close).
+"""
+
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import pytest
+
+from repro.exceptions import ParameterError, ServingError
+from repro.serving import RouterPool
+
+from serving_cases import build_case
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+
+def _assert_gone(pids, timeout=5.0):
+    """The pool's workers are no longer among our children."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = {p.pid for p in mp.active_children()}
+        if not alive & set(pids):
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"leaked worker processes: {alive & set(pids)}")
+
+
+def _assert_shm_unlinked(name):
+    if name is None:
+        return
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_case("grid25-k2")
+
+
+class TestShutdown:
+
+    def test_context_exit_cleans_up(self, case, start_method):
+        with RouterPool(case["compiled"], workers=2,
+                        start_method=start_method) as pool:
+            pids = pool.pids
+            name = pool.shm_name
+            assert len(pids) == 2
+            batch = case["batches"]["random"][:50]
+            assert pool.route_many(batch) == \
+                case["expected_routes"]["random"][:50]
+        assert pool.closed
+        assert pool.pids == []
+        _assert_gone(pids)
+        _assert_shm_unlinked(name)
+
+    def test_exception_in_with_block_cleans_up(self, case,
+                                               start_method):
+        with pytest.raises(RuntimeError, match="boom"):
+            with RouterPool(case["compiled"], workers=2,
+                            start_method=start_method) as pool:
+                pids = pool.pids
+                name = pool.shm_name
+                raise RuntimeError("boom")
+        _assert_gone(pids)
+        _assert_shm_unlinked(name)
+
+    def test_close_is_idempotent(self, case, start_method):
+        pool = RouterPool(case["compiled"], workers=1,
+                          start_method=start_method)
+        pool.close()
+        pool.close()
+        with pytest.raises(ServingError, match="closed"):
+            pool.route_many([(0, 1)])
+        with pytest.raises(ServingError, match="closed"):
+            pool.estimate_many([(0, 1)])
+
+    def test_constructor_failure_leaks_nothing(self, case):
+        before = {p.pid for p in mp.active_children()}
+        with pytest.raises(ParameterError, match="sharding policy"):
+            RouterPool(case["compiled"], workers=2, policy="nope")
+        with pytest.raises(ParameterError, match="at least one"):
+            RouterPool(case["compiled"], workers=0)
+        with pytest.raises(ParameterError, match="start method"):
+            RouterPool(case["compiled"], workers=1,
+                       start_method="teleport")
+        with pytest.raises(ParameterError, match="compiled artifacts"):
+            RouterPool(object())
+        if "spawn" in mp.get_all_start_methods():
+            with pytest.raises(ParameterError, match="fork"):
+                RouterPool(case["compiled"], workers=1,
+                           transport="inherit", start_method="spawn")
+        after = {p.pid for p in mp.active_children()}
+        assert after <= before
+
+    def test_estimation_pool_cleans_up_too(self, case, start_method):
+        with RouterPool(case["estimation"], workers=2,
+                        start_method=start_method) as pool:
+            pids = pool.pids
+            name = pool.shm_name
+            pool.estimate_many(case["batches"]["single"])
+        _assert_gone(pids)
+        _assert_shm_unlinked(name)
+
+
+class TestWorkerDeath:
+
+    def test_killed_worker_raises_not_hangs(self, case, start_method):
+        with RouterPool(case["compiled"], workers=2,
+                        start_method=start_method) as pool:
+            pids = pool.pids
+            name = pool.shm_name
+            os.kill(pids[0], signal.SIGKILL)
+            # liveness detection: ServingError, not a silent hang
+            with pytest.raises(ServingError, match="died"):
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    pool.route_many(case["batches"]["random"])
+        _assert_gone(pids)
+        _assert_shm_unlinked(name)
+
+    def test_worker_attach_failure_surfaces(self, case, fork_only,
+                                            monkeypatch):
+        """A worker that cannot attach the shared artifact reports a
+        fatal handshake and the constructor raises ServingError (and
+        cleans up) instead of hanging.  Fork-only: the sabotage is a
+        parent-side patch the workers must inherit."""
+        import repro.serving.pool as pool_mod
+
+        def sabotage(_init):
+            raise RuntimeError("attach sabotaged")
+
+        monkeypatch.setattr(pool_mod, "attach_from_init", sabotage)
+        before = {p.pid for p in mp.active_children()}
+        with pytest.raises(ServingError, match="attach"):
+            RouterPool(case["compiled"], workers=1,
+                       start_method="fork")
+        monkeypatch.undo()
+        after = {p.pid for p in mp.active_children()}
+        assert after <= before

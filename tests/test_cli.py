@@ -78,6 +78,64 @@ class TestCommands:
         assert "requested n=50" in out
 
 
+class TestQueryServing:
+    """The serve half on its own: pool workers and batch-file mode."""
+
+    @pytest.fixture(scope="class")
+    def artifact_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "scheme.cra"
+        from repro.pipeline import SchemePipeline
+        (SchemePipeline().workload("grid", 25).params(2).seed(3)
+         .compile().save(path))
+        return str(path)
+
+    def test_query_in_process(self, artifact_path, capsys):
+        assert main(["query", artifact_path,
+                     "--pair", "0", "7", "--pair", "3", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "route" in out
+        assert "via in-process" in out
+
+    def test_query_pool_matches_in_process(self, artifact_path,
+                                           capsys):
+        pairs = ["--pair", "0", "7", "--pair", "3", "12",
+                 "--pair", "24", "0", "--pair", "5", "5"]
+        assert main(["query", artifact_path] + pairs) == 0
+        single = capsys.readouterr().out
+        assert main(["query", artifact_path, "--workers", "2",
+                     "--policy", "source-hash"] + pairs) == 0
+        pooled = capsys.readouterr().out
+        route_lines = [l for l in single.splitlines() if "route" in l]
+        assert route_lines == \
+            [l for l in pooled.splitlines() if "route" in l]
+        assert "pool of 2 workers" in pooled
+        assert "source-hash" in pooled
+
+    def test_query_batch_file_mode(self, artifact_path, tmp_path,
+                                   capsys):
+        pairs_file = tmp_path / "pairs.txt"
+        pairs_file.write_text("0 7\n3 12  # comment\n\n24 0\n")
+        out_file = tmp_path / "routes.tsv"
+        assert main(["query", artifact_path,
+                     "--pairs-file", str(pairs_file),
+                     "--workers", "2",
+                     "--out", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        assert f"wrote 3 results to {out_file}" in printed
+        assert "route " not in printed  # no per-query chatter
+        rows = [line.split("\t")
+                for line in out_file.read_text().splitlines()
+                if not line.startswith("#")]
+        assert len(rows) == 3
+        assert [r[:2] for r in rows] == \
+            [["0", "7"], ["3", "12"], ["24", "0"]]
+        # weight/hops/path columns round-trip as numbers
+        for row in rows:
+            float(row[2]), int(row[3])
+            assert row[4].split("-")[0] == row[0]
+            assert row[4].split("-")[-1] == row[1]
+
+
 class TestBuildServeSplit:
     """build --out writes an artifact; query serves it back without
     reconstruction (the lifecycle the PR introduces)."""
