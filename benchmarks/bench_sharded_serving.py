@@ -151,6 +151,40 @@ def measure_sharded_serving(n=256, k=3, pairs=40_000, seed=1,
         assert pool.route_many(query_pairs[:512]) == base[:512]
     record["cross_policy_checked"] = other
 
+    # result transports: columnar (struct-packed flat arrays, the
+    # default) vs rows (pickled result objects, the legacy path) —
+    # the ROADMAP's merge-cost lever, measured on the same batch.
+    # On a 1-core host this isolates exactly the serialize/deserialize
+    # term: worker packing + parent decode vs object-graph pickling.
+    w = max(workers)
+    transports = {}
+    for rt in ("columnar", "rows"):
+        with RouterPool(compiled, workers=w, policy=policy,
+                        start_method=start_method,
+                        result_transport=rt) as pool:
+            t_rt, got = _best_of(
+                repeats, lambda: pool.route_many(query_pairs))
+            assert got == base, "transports must be bit-identical"
+        with RouterPool(compiled_est, workers=w, policy=policy,
+                        start_method=start_method,
+                        result_transport=rt) as pool:
+            te_rt, e_got = _best_of(
+                repeats, lambda: pool.estimate_many(query_pairs))
+            assert e_got == e_base
+        transports[rt] = {
+            "routing_seconds": round(t_rt, 6),
+            "routing_rps": round(count / t_rt, 1),
+            "estimation_seconds": round(te_rt, 6),
+            "estimation_rps": round(count / te_rt, 1),
+        }
+    transports["columnar_vs_rows_routing"] = round(
+        transports["rows"]["routing_seconds"]
+        / transports["columnar"]["routing_seconds"], 3)
+    transports["columnar_vs_rows_estimation"] = round(
+        transports["rows"]["estimation_seconds"]
+        / transports["columnar"]["estimation_seconds"], 3)
+    record["result_transport"] = {"workers": w, **transports}
+
     if cpu_count == 1:
         record["note"] = (
             "single-core host: process parallelism cannot exceed 1x, "
@@ -177,6 +211,11 @@ def _print_record(record):
     for w, row in e["pool"].items():
         print(f"[E9]   pool w={w}: {row['rps']:>10.0f}/s  "
               f"vs single {row['speedup_vs_single']:.2f}x")
+    rt = record.get("result_transport")
+    if rt:
+        print(f"[E9] result transport (w={rt['workers']}): columnar "
+              f"vs rows {rt['columnar_vs_rows_routing']:.2f}x routing, "
+              f"{rt['columnar_vs_rows_estimation']:.2f}x estimation")
     if "note" in record:
         print(f"[E9] note: {record['note']}")
 

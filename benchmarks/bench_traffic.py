@@ -1,0 +1,236 @@
+"""[E10] Streaming traffic throughput: micro-batch coalescing vs
+one-dispatch-per-request.
+
+The async broker's reason to exist is that a stream of small
+concurrent requests can approach the pre-assembled-batch serving rate
+by fusing whatever arrives inside a micro-batch window into one
+``route_many`` call.  This benchmark measures exactly that claim:
+
+* **closed-loop, baseline** — N concurrent clients over a broker with
+  ``max_batch=1`` (every request is its own dispatch: the
+  single-pair-per-dispatch shape a naive async front-end would have);
+* **closed-loop, coalescing** — the same N clients over a coalescing
+  broker.  Closed-loop arrivals are always queued behind the previous
+  window, so the measured config uses ``max_wait_ms=0`` (fuse what is
+  queued, never sleep) — the timer exists for *open*-loop trickle
+  traffic, and a nonzero-window config is recorded next to it for
+  honesty;
+* **open-loop Poisson** — seeded exponential inter-arrivals at a
+  target RPS against the coalescing broker, recording p50/p95/p99
+  latency *including queueing delay* (the honest percentiles).
+
+Correctness is asserted in-run: a seeded sample of the served routes
+must be bit-identical to ``route_many``.  The committed record must
+show ``coalescing_speedup >= 2`` at >= 64 closed-loop clients
+(asserted at gate sizes).
+
+Usage::
+
+    python benchmarks/bench_traffic.py
+    python benchmarks/bench_traffic.py --n 48 --clients 16 \
+        --requests 20 --out /tmp/traffic.json
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import SchemePipeline
+from repro.server import RequestBroker
+from repro.server.loadgen import (
+    broker_targets,
+    make_mix,
+    run_closed_loop,
+    run_open_loop,
+)
+
+#: Required closed-loop throughput ratio, coalescing vs
+#: one-dispatch-per-request, at the gate client count.
+REQUIRED_COALESCING_SPEEDUP = 2.0
+
+#: Client count at and above which the speedup gate is asserted.
+GATE_CLIENTS = 64
+
+
+async def _measure(compiled, estimation, clients, requests, rps,
+                   max_batch, max_wait_ms, mix, seed):
+    n = compiled.num_vertices
+    record = {"closed_loop": {}, "open_loop": {}}
+
+    # equivalence spot-check through the coalescing broker
+    draw = make_mix(mix, n, seed)
+    sample = [draw() for _ in range(256)]
+    expected = compiled.route_many(sample)
+    async with RequestBroker(router=compiled, max_batch=max_batch,
+                             max_wait_ms=max_wait_ms) as broker:
+        got = await asyncio.gather(*(broker.route(u, v)
+                                     for u, v in sample))
+        assert list(got) == expected, \
+            "broker must be bit-identical to route_many"
+    record["equivalence_checked_pairs"] = len(sample)
+
+    # closed loop: baseline (max_batch=1) vs coalescing
+    async with RequestBroker(router=compiled, max_batch=1,
+                             max_wait_ms=0.0) as baseline:
+        rep = await run_closed_loop(
+            broker_targets(baseline), n, clients=clients,
+            requests_per_client=requests, mix=mix, seed=seed)
+    record["closed_loop"]["baseline_single_dispatch"] = rep.to_dict()
+    base_rps = rep.achieved_rps
+
+    async with RequestBroker(router=compiled, max_batch=max_batch,
+                             max_wait_ms=0.0) as broker:
+        rep = await run_closed_loop(
+            broker_targets(broker), n, clients=clients,
+            requests_per_client=requests, mix=mix, seed=seed)
+        fused = broker.metrics.mean_fused_size()
+    record["closed_loop"]["coalescing"] = rep.to_dict()
+    record["closed_loop"]["coalescing"]["mean_fused_size"] = \
+        round(fused, 2)
+    record["coalescing_speedup"] = round(
+        rep.achieved_rps / max(base_rps, 1e-9), 3)
+
+    # the timer config, for the record (closed-loop pays the window)
+    async with RequestBroker(router=compiled, max_batch=max_batch,
+                             max_wait_ms=max_wait_ms) as broker:
+        rep = await run_closed_loop(
+            broker_targets(broker), n, clients=clients,
+            requests_per_client=requests, mix=mix, seed=seed)
+    record["closed_loop"][f"coalescing_wait_{max_wait_ms:g}ms"] = \
+        rep.to_dict()
+
+    # open loop: Poisson arrivals, latency percentiles with queueing
+    async with RequestBroker(router=compiled, max_batch=max_batch,
+                             max_wait_ms=max_wait_ms) as broker:
+        rep = await run_open_loop(
+            broker_targets(broker), n, rps=rps,
+            total_requests=clients * requests, mix=mix, seed=seed)
+    record["open_loop"]["poisson"] = rep.to_dict()
+
+    # estimation lane, closed loop only (same machinery, cheaper op)
+    async with RequestBroker(estimator=estimation, max_batch=1,
+                             max_wait_ms=0.0) as baseline:
+        rep_b = await run_closed_loop(
+            broker_targets(baseline), n, clients=clients,
+            requests_per_client=requests, op="estimate", mix=mix,
+            seed=seed)
+    async with RequestBroker(estimator=estimation,
+                             max_batch=max_batch,
+                             max_wait_ms=0.0) as broker:
+        rep_c = await run_closed_loop(
+            broker_targets(broker), n, clients=clients,
+            requests_per_client=requests, op="estimate", mix=mix,
+            seed=seed)
+    record["closed_loop"]["estimation_baseline"] = rep_b.to_dict()
+    record["closed_loop"]["estimation_coalescing"] = rep_c.to_dict()
+    record["estimation_coalescing_speedup"] = round(
+        rep_c.achieved_rps / max(rep_b.achieved_rps, 1e-9), 3)
+    return record
+
+
+def measure_traffic(n=96, k=3, seed=1, clients=64, requests=40,
+                    rps=4000.0, max_batch=256, max_wait_ms=2.0,
+                    mix="uniform"):
+    """Build once, measure every traffic shape; returns the record."""
+    pipeline = (SchemePipeline().workload("random", n).params(k)
+                .seed(seed))
+    compiled = pipeline.compile()
+    estimation = pipeline.compile_estimation()
+    record = {
+        "benchmark": "traffic",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "requested_n": n,
+        "num_vertices": compiled.num_vertices,
+        "k": k,
+        "clients": clients,
+        "requests_per_client": requests,
+        "open_loop_target_rps": rps,
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "mix": mix,
+    }
+    record.update(asyncio.run(_measure(
+        compiled, estimation, clients, requests, rps, max_batch,
+        max_wait_ms, mix, seed)))
+    return record
+
+
+def _print_record(record):
+    closed = record["closed_loop"]
+    base = closed["baseline_single_dispatch"]
+    coal = closed["coalescing"]
+    open_rep = record["open_loop"]["poisson"]
+    print(f"[E10] traffic n={record['num_vertices']} "
+          f"clients={record['clients']} mix={record['mix']} "
+          f"cpus={record['cpu_count']}")
+    print(f"[E10]   closed baseline : {base['achieved_rps']:>9.0f} "
+          f"rps  p50 {base['latency']['p50_ms']:.2f}ms")
+    print(f"[E10]   closed coalesced: {coal['achieved_rps']:>9.0f} "
+          f"rps  p50 {coal['latency']['p50_ms']:.2f}ms  "
+          f"(mean fused {coal['mean_fused_size']})")
+    print(f"[E10]   coalescing speedup: "
+          f"{record['coalescing_speedup']:.2f}x  (estimation "
+          f"{record['estimation_coalescing_speedup']:.2f}x)")
+    lat = open_rep["latency"]
+    print(f"[E10]   open-loop @{open_rep['target_rps']:g} rps: "
+          f"achieved {open_rep['achieved_rps']:.0f}, p50 "
+          f"{lat['p50_ms']:.2f}ms p95 {lat['p95_ms']:.2f}ms p99 "
+          f"{lat['p99_ms']:.2f}ms")
+
+
+@pytest.mark.artifact("E10")
+def bench_traffic(benchmark):
+    """Coalescing equivalence under load + the >=2x gate at the gate
+    concurrency."""
+    record = benchmark.pedantic(
+        lambda: measure_traffic(n=64, clients=GATE_CLIENTS,
+                                requests=15),
+        rounds=1, iterations=1)
+    print()
+    _print_record(record)
+    assert record["coalescing_speedup"] >= REQUIRED_COALESCING_SPEEDUP
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n", type=int, default=96)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--rps", type=float, default=4000.0)
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--mix", default="uniform")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "results"
+                        / "traffic.json")
+    args = parser.parse_args(argv)
+    record = measure_traffic(
+        n=args.n, k=args.k, seed=args.seed, clients=args.clients,
+        requests=args.requests, rps=args.rps,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        mix=args.mix)
+    _print_record(record)
+    if args.clients >= GATE_CLIENTS:
+        assert record["coalescing_speedup"] >= \
+            REQUIRED_COALESCING_SPEEDUP, \
+            "coalescing must beat single-pair dispatch 2x at the " \
+            "gate concurrency"
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[E10] record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,9 +24,11 @@ from .exceptions import (
     HopsetError,
     InvalidWeightError,
     ParameterError,
+    ProtocolError,
     ReproError,
     RoutingLoopError,
     SchemeError,
+    ServingError,
     SimulationError,
 )
 from .graphs import (
@@ -50,9 +52,11 @@ __all__ = [
     "HopsetError",
     "InvalidWeightError",
     "ParameterError",
+    "ProtocolError",
     "ReproError",
     "RoutingLoopError",
     "SchemeError",
+    "ServingError",
     "SimulationError",
     # graphs
     "WeightedGraph",
@@ -72,6 +76,10 @@ __all__ = [
     "CompiledScheme",
     "CompiledEstimation",
     "load_artifact",
+    "RouterPool",
+    "RequestBroker",
+    "TrafficServer",
+    "TrafficClient",
 ]
 
 
@@ -93,4 +101,10 @@ def __getattr__(name):
     if name in ("CompiledScheme", "CompiledEstimation", "load_artifact"):
         from .core import compiled as _cp
         return getattr(_cp, name)
+    if name == "RouterPool":
+        from .serving import RouterPool
+        return RouterPool
+    if name in ("RequestBroker", "TrafficServer", "TrafficClient"):
+        from . import server as _srv
+        return getattr(_srv, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

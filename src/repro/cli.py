@@ -12,6 +12,16 @@ query      Load a saved artifact (routing or estimation) and answer
            (``--policy`` picks the sharding policy); ``--out FILE``
            switches to batch-file mode and writes one tab-separated
            result per line instead of pretty-printing.
+serve      Load artifacts and serve them to concurrent clients over
+           TCP (or a unix socket) through the async request broker:
+           micro-batch coalescing (``--max-batch``/``--max-wait-ms``),
+           optional sharded pool backend (``--workers``), graceful
+           SIGINT/SIGTERM shutdown, metrics snapshot on exit.
+bench-traffic
+           Drive a broker (in-process, over a loaded or freshly built
+           artifact) with the load generator: closed-loop clients and
+           open-loop Poisson arrivals, coalescing vs a
+           one-dispatch-per-request baseline.
 route      Build, then route one packet and print the path and stretch.
 table1     Regenerate Table 1 on a workload.
 estimate   Build the Theorem-6 sketches and answer distance queries;
@@ -200,6 +210,124 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _broker_from_artifacts(paths, args):
+    """Load 1–2 artifacts, optionally wrap each in a RouterPool, and
+    front them with one RequestBroker (closed by broker.aclose())."""
+    from .core.compiled import CompiledEstimation
+    from .server import pooled_broker
+
+    router = estimator = None
+    for path in paths:
+        artifact = load_artifact(path)
+        if isinstance(artifact, CompiledScheme):
+            if router is not None:
+                raise SystemExit(
+                    f"error: two routing artifacts given ({path})")
+            router = artifact
+        elif isinstance(artifact, CompiledEstimation):
+            if estimator is not None:
+                raise SystemExit(
+                    f"error: two estimation artifacts given ({path})")
+            estimator = artifact
+    return pooled_broker(router, estimator, workers=args.workers,
+                         pool_kwargs={"policy": args.policy},
+                         max_batch=args.max_batch,
+                         max_wait_ms=args.max_wait_ms,
+                         max_pending=args.max_pending)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the traffic server until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import json
+
+    from .server import TrafficServer
+
+    async def run() -> None:
+        broker = _broker_from_artifacts(args.artifact, args)
+        server = TrafficServer(broker, host=args.host, port=args.port,
+                               unix_path=args.unix)
+        await server.start()
+        server.install_signal_handlers()
+        kinds = [k for k, b in (("routing", broker.router),
+                                ("estimation", broker.estimator))
+                 if b is not None]
+        backend = (f"pool of {args.workers} workers" if args.workers
+                   else "in-process")
+        print(f"serving {'+'.join(kinds)} on {server.address} "
+              f"({backend}, max_batch={broker.max_batch}, "
+              f"max_wait_ms={args.max_wait_ms:g}); "
+              "Ctrl-C for graceful shutdown", flush=True)
+        await server.serve_forever()
+        print("shutdown: drained; broker metrics:")
+        print(json.dumps(broker.metrics.snapshot(), indent=2))
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_bench_traffic(args: argparse.Namespace) -> int:
+    """Closed-loop + open-loop load against an in-process broker."""
+    import asyncio
+    import json
+
+    from .server import RequestBroker
+    from .server.loadgen import (broker_targets, run_closed_loop,
+                                 run_open_loop)
+
+    artifact = load_artifact(args.artifact)
+    routing = isinstance(artifact, CompiledScheme)
+    op = "route" if routing else "estimate"
+    n = artifact.num_vertices
+    kw = dict(router=artifact) if routing else dict(estimator=artifact)
+    print(f"artifact={args.artifact} kind={artifact.kind} n={n} "
+          f"op={op} mix={args.mix}")
+
+    async def run() -> dict:
+        reports = {}
+        async with RequestBroker(max_batch=1, max_wait_ms=0.0,
+                                 **kw) as baseline:
+            rep = await run_closed_loop(
+                broker_targets(baseline), n, clients=args.clients,
+                requests_per_client=args.requests, op=op,
+                mix=args.mix, seed=args.seed)
+            print("  baseline   " + rep.format())
+            reports["closed_baseline"] = rep.to_dict()
+        async with RequestBroker(max_batch=args.max_batch,
+                                 max_wait_ms=args.max_wait_ms,
+                                 **kw) as broker:
+            rep = await run_closed_loop(
+                broker_targets(broker), n, clients=args.clients,
+                requests_per_client=args.requests, op=op,
+                mix=args.mix, seed=args.seed)
+            print("  coalescing " + rep.format())
+            reports["closed_coalescing"] = rep.to_dict()
+            reports["coalescing_speedup"] = round(
+                rep.achieved_rps /
+                max(reports["closed_baseline"]["achieved_rps"], 1e-9),
+                3)
+        async with RequestBroker(max_batch=args.max_batch,
+                                 max_wait_ms=args.max_wait_ms,
+                                 **kw) as broker:
+            rep = await run_open_loop(
+                broker_targets(broker), n, rps=args.rps,
+                total_requests=args.requests * args.clients, op=op,
+                mix=args.mix, seed=args.seed)
+            print("  open-loop  " + rep.format())
+            reports["open_poisson"] = rep.to_dict()
+        return reports
+
+    reports = asyncio.run(run())
+    print(f"coalescing speedup vs one-dispatch-per-request: "
+          f"{reports['coalescing_speedup']}x")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(reports, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote report to {args.out}")
+    return 0
+
+
 def cmd_route(args: argparse.Namespace) -> int:
     built = _pipeline(args).build()
     graph = built.scheme.graph
@@ -317,6 +445,53 @@ def build_parser() -> argparse.ArgumentParser:
                               "results to FILE instead of printing "
                               "each query")
     p_query.set_defaults(func=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve artifacts to concurrent clients over "
+                      "TCP/unix socket")
+    p_serve.add_argument("artifact", nargs="+",
+                         help="one routing and/or one estimation "
+                              "artifact (.cra)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 = kernel-assigned, echoed "
+                              "on stdout)")
+    p_serve.add_argument("--unix", metavar="PATH", default=None,
+                         help="serve on a unix socket instead of TCP")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         metavar="N",
+                         help="back the broker with a sharded pool of "
+                              "N worker processes (0 = in-process)")
+    p_serve.add_argument("--policy", choices=available_policies(),
+                         default="round-robin",
+                         help="sharding policy for --workers")
+    p_serve.add_argument("--max-batch", type=int, default=128,
+                         help="fused micro-batch pair budget")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="coalescing window in milliseconds")
+    p_serve.add_argument("--max-pending", type=int, default=1024,
+                         help="backpressure bound on queued "
+                              "submissions")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_traffic = sub.add_parser(
+        "bench-traffic",
+        help="drive a broker with closed/open-loop synthetic traffic")
+    p_traffic.add_argument("artifact", help="a .cra artifact to serve")
+    p_traffic.add_argument("--clients", type=int, default=32,
+                           help="closed-loop concurrent clients")
+    p_traffic.add_argument("--requests", type=int, default=50,
+                           help="requests per client")
+    p_traffic.add_argument("--rps", type=float, default=2000.0,
+                           help="open-loop Poisson arrival rate")
+    p_traffic.add_argument("--mix", default="uniform",
+                           help="pair mix (uniform, hotspot, repeated)")
+    p_traffic.add_argument("--max-batch", type=int, default=128)
+    p_traffic.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_traffic.add_argument("--seed", type=int, default=0)
+    p_traffic.add_argument("--out", metavar="FILE",
+                           help="write the JSON report here")
+    p_traffic.set_defaults(func=cmd_bench_traffic)
 
     p_route = sub.add_parser("route", help="route one packet")
     _add_common(p_route)

@@ -58,6 +58,13 @@ class ServingError(ReproError):
     the configured start method."""
 
 
+class ProtocolError(ServingError):
+    """Raised for malformed traffic-server frames: bad or oversized
+    length prefixes, non-UTF8 payloads, unknown ops, odd pair arity,
+    or batches beyond the per-request limit.  The server answers these
+    with a typed ``ERR`` frame instead of dying."""
+
+
 class HopsetError(ReproError):
     """Raised when a hopset fails validation or is used inconsistently."""
 

@@ -311,6 +311,43 @@ class SchemePipeline:
         return RouterPool(artifact, workers=workers, policy=policy,
                           **pool_kwargs)
 
+    def serve_async(self, workers: int = 0, kind: str = "routing",
+                    max_batch: int = 128, max_wait_ms: float = 2.0,
+                    max_pending: int = 1024,
+                    **pool_kwargs) -> "RequestBroker":
+        """Compile (building if needed) and front it with the async
+        request broker — the streaming counterpart of :meth:`serve`.
+
+        Many concurrent asyncio clients submit single pairs or small
+        batches; the broker coalesces everything arriving within a
+        micro-batch window (``max_batch`` pairs / ``max_wait_ms``) into
+        one fused batch call, so stream traffic approaches the
+        pre-assembled-batch serving rate.  ``kind`` is ``"routing"``,
+        ``"estimation"`` or ``"both"``; ``workers=0`` serves in-process,
+        ``workers=N`` opens a :class:`~repro.serving.RouterPool` per
+        artifact which the broker owns and closes on ``aclose()``.
+
+        >>> broker = pipeline.serve_async(max_wait_ms=1.0)
+        >>> async with broker:
+        ...     route = await broker.route(3, 57)
+        """
+        from .server import pooled_broker
+
+        if kind not in ("routing", "estimation", "both"):
+            raise ParameterError(
+                f"unknown serve kind {kind!r}; choose 'routing', "
+                "'estimation' or 'both'")
+        router = estimator = None
+        if kind in ("routing", "both"):
+            router = self.compile()
+        if kind in ("estimation", "both"):
+            estimator = self.compile_estimation()
+        return pooled_broker(router, estimator, workers=workers,
+                             pool_kwargs=pool_kwargs,
+                             max_batch=max_batch,
+                             max_wait_ms=max_wait_ms,
+                             max_pending=max_pending)
+
     def build_estimation(self) -> DistanceEstimation:
         """Clusters + sketches only (skips the tree-routing forest).
 

@@ -1,0 +1,32 @@
+"""Async streaming traffic front-end: many small concurrent clients
+sharing one warm serving backend.
+
+``repro.serving`` (PR 4) scales one big batch across processes; this
+package turns the repo into a *traffic-serving* system: a
+:class:`RequestBroker` coalesces concurrent single-pair lookups into
+fused micro-batches over a compiled artifact or warm ``RouterPool``,
+:class:`TrafficServer` exposes it over TCP / unix sockets with a
+length-prefixed TSV protocol, and ``loadgen`` drives it with seeded
+open-loop (Poisson) and closed-loop traffic.  See ``README.md`` here
+for the architecture and knobs.
+"""
+
+from .broker import RequestBroker, pooled_broker
+from .metrics import BrokerMetrics, LatencyRecorder, percentile
+from .tcp import TrafficClient, TrafficServer
+from . import protocol
+
+# NOTE: ``loadgen`` is deliberately not imported eagerly — it is
+# runnable (``python -m repro.server.loadgen``), and importing it from
+# the package first would shadow the ``runpy`` execution.
+
+__all__ = [
+    "RequestBroker",
+    "pooled_broker",
+    "BrokerMetrics",
+    "LatencyRecorder",
+    "percentile",
+    "TrafficClient",
+    "TrafficServer",
+    "protocol",
+]

@@ -1,0 +1,450 @@
+"""Request broker: micro-batch coalescing over a warm serving backend.
+
+`RouterPool` (PR 4) scales one *big* batch across processes, but real
+traffic arrives as a stream of small, concurrent lookups.  The broker is
+the missing front half: many asyncio clients each submit one pair or a
+small batch (``await broker.route(s, t)``), the broker coalesces
+everything that arrives inside a micro-batch window into **one** fused
+``route_many``/``estimate_many`` call, and demultiplexes the results
+back to each awaiting future in that client's input order.
+
+Why this wins: every dispatch pays fixed costs (an executor hop, and —
+with a pool backend — sharding plus queue round-trips) that dwarf the
+per-pair serving cost.  Coalescing amortizes those fixed costs over the
+whole window, so throughput under many small clients approaches the big
+pre-assembled-batch rate; ``benchmarks/bench_traffic.py`` records the
+ratio.
+
+Design points, in contract order:
+
+* **Bit-identity.**  A fused window is served by the *same*
+  ``route_many``/``estimate_many`` the backend already has, and those
+  are per-query deterministic — so any window shape returns exactly the
+  bytes in-process serving would.  Pinned by ``tests/server/``.
+* **Backpressure.**  The pending queue is bounded (``max_pending``
+  submissions); when it fills, ``await broker.route(...)`` blocks *the
+  submitting client* until a window drains.  Slow consumers wait;
+  memory never grows without bound.
+* **Validation at the door.**  Pairs are validated at submit time with
+  the same ``validate_pairs`` prepass every other serve path uses —
+  a malformed request raises immediately in the caller and can never
+  poison a fused window that carries other clients' queries.
+* **Per-window failure domain.**  If the backend itself raises
+  mid-window (artifact bug, dead pool worker), every submission in that
+  window gets the error; queued windows behind it are unaffected.
+* **Cancellation.**  A client abandoning its future (``asyncio``
+  cancellation) is dropped at dispatch time — its pairs are excluded
+  from the fused call and nobody else notices.
+* **Graceful shutdown.**  ``aclose()`` rejects new submissions with
+  :class:`~repro.exceptions.ServingError`, flushes every queued window,
+  waits for in-flight dispatches, then closes owned backends (e.g. a
+  pool opened by ``SchemePipeline.serve_async``).
+
+The broker is loop-bound: it binds to the running event loop on first
+use, and all its methods must be awaited from that loop.  Backends are
+driven on a single worker thread (``run_in_executor``), which both
+keeps the event loop responsive during a fused call and serializes
+dispatches FIFO — a pool backend serializes batches internally anyway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import operator
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import ParameterError, ServingError
+from .metrics import BrokerMetrics
+
+#: Queue sentinel: "no more submissions, flush and exit".
+_SHUTDOWN = object()
+
+_ROUTE = "route"
+_ESTIMATE = "estimate"
+
+
+class _Submission:
+    """One client request: its pairs, its future, its clock."""
+
+    __slots__ = ("pairs", "future", "enqueued_at")
+
+    def __init__(self, pairs, future, enqueued_at):
+        self.pairs = pairs
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class _Lane:
+    """One coalescing lane (route or estimate): a bounded queue plus
+    the dispatcher task draining it window by window."""
+
+    __slots__ = ("name", "serve", "queue", "task", "pending")
+
+    def __init__(self, name, serve, max_pending):
+        self.name = name
+        self.serve = serve          # blocking callable(pairs) -> list
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
+        self.task: Optional[asyncio.Task] = None
+        #: unresolved submission futures, for drain(); each removes
+        #: itself on completion
+        self.pending: set = set()
+
+
+class RequestBroker:
+    """Coalesce concurrent small requests into fused backend batches.
+
+    >>> broker = RequestBroker(router=compiled, max_batch=128,
+    ...                        max_wait_ms=2.0)
+    >>> async with broker:
+    ...     route = await broker.route(3, 57)
+    ...     routes = await broker.route_batch([(0, 9), (4, 4)])
+
+    Parameters
+    ----------
+    router:
+        Anything with ``route_many(pairs)`` + ``validate_pairs(pairs)``
+        — a :class:`~repro.core.compiled.CompiledScheme` or a warm
+        :class:`~repro.serving.RouterPool`.  ``None`` disables the
+        route lane.
+    estimator:
+        Same for ``estimate_many`` — a ``CompiledEstimation`` or an
+        estimation pool.  ``None`` disables the estimate lane.
+    max_batch:
+        Fused-window pair budget: a window closes as soon as it holds
+        this many pairs.  ``1`` disables coalescing (every submission
+        dispatches alone) — the benchmark's baseline mode.
+    max_wait_ms:
+        How long a window stays open for more arrivals after its first
+        pair, in milliseconds.  ``0`` means "grab whatever is already
+        queued, never sleep": minimum latency, coalescing only under
+        concurrency pressure.
+    max_pending:
+        Bound on queued submissions per lane — the backpressure knob.
+        Submitters beyond it wait in ``queue.put`` order.
+    own:
+        Backends the broker should ``close()`` on ``aclose()`` (the
+        pipeline hands pools it opened here).
+    metrics_window:
+        Latency-reservoir size for :class:`BrokerMetrics`.
+    """
+
+    def __init__(self, router=None, estimator=None, *,
+                 max_batch: int = 128, max_wait_ms: float = 2.0,
+                 max_pending: int = 1024, own: Sequence = (),
+                 metrics_window: int = 65536) -> None:
+        if router is None and estimator is None:
+            raise ParameterError(
+                "RequestBroker needs a router and/or an estimator "
+                "backend")
+        for backend, methods in ((router, ("route_many",)),
+                                 (estimator, ("estimate_many",))):
+            if backend is None:
+                continue
+            for name in methods + ("validate_pairs",):
+                if not callable(getattr(backend, name, None)):
+                    raise ParameterError(
+                        f"broker backend {type(backend).__name__} "
+                        f"lacks a callable {name}()")
+        if max_batch < 1:
+            raise ParameterError(
+                f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ParameterError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_pending < 1:
+            raise ParameterError(
+                f"max_pending must be >= 1, got {max_pending}")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self._router = router
+        self._estimator = estimator
+        self._own = list(own)
+        self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Dispatch through the backend's ``*_validated`` entry point
+        # when it has one (both artifacts and RouterPool do): the
+        # broker already ran the exact same prepass per submission, so
+        # fused windows skip a second O(window) validation sweep.
+        self._lanes = {}
+        if router is not None:
+            serve = getattr(router, "_route_many_validated",
+                            router.route_many)
+            self._lanes[_ROUTE] = _Lane(_ROUTE, serve, max_pending)
+        if estimator is not None:
+            serve = getattr(estimator, "_estimate_many_validated",
+                            estimator.estimate_many)
+            self._lanes[_ESTIMATE] = _Lane(_ESTIMATE, serve,
+                                           max_pending)
+        self.metrics = BrokerMetrics(
+            metrics_window,
+            queue_depth=lambda: sum(lane.queue.qsize()
+                                    for lane in self._lanes.values()))
+        # One worker thread: fused dispatches run off-loop (the event
+        # loop keeps accepting arrivals mid-dispatch, which is where
+        # the next window's coalescing comes from) and strictly FIFO.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-broker")
+
+    # -- introspection -------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def serves_routing(self) -> bool:
+        return _ROUTE in self._lanes
+
+    @property
+    def serves_estimation(self) -> bool:
+        return _ESTIMATE in self._lanes
+
+    @property
+    def router(self):
+        return self._router
+
+    @property
+    def estimator(self):
+        return self._estimator
+
+    def __repr__(self) -> str:
+        kinds = "+".join(sorted(self._lanes))
+        state = "closed" if self._closed else "open"
+        return (f"RequestBroker({kinds}, max_batch={self.max_batch}, "
+                f"max_wait_ms={self.max_wait * 1000:g}, {state})")
+
+    # -- public API ----------------------------------------------------
+    async def route(self, source: int, target: int):
+        """One routing lookup; returns a ``CompiledRoute``."""
+        return (await self.route_batch([(source, target)]))[0]
+
+    async def route_batch(self, pairs: Sequence[Tuple[int, int]]
+                          ) -> List:
+        """A small client batch of routing lookups, served fused with
+        whatever else the window collects; results in input order."""
+        return await self._submit(_ROUTE, self._router, pairs)
+
+    async def estimate(self, u: int, v: int) -> float:
+        """One distance estimate (Algorithm 2)."""
+        return (await self.estimate_batch([(u, v)]))[0]
+
+    async def estimate_batch(self, pairs: Sequence[Tuple[int, int]]
+                             ) -> List[float]:
+        """A small client batch of distance estimates."""
+        return await self._submit(_ESTIMATE, self._estimator, pairs)
+
+    # -- submission ----------------------------------------------------
+    async def _submit(self, kind: str, backend, pairs) -> List:
+        if self._closed:
+            raise ServingError(
+                f"cannot submit {kind} requests to a closed broker")
+        lane = self._lanes.get(kind)
+        if lane is None:
+            raise ParameterError(
+                f"this broker has no {kind} backend")
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        # Same validation authority as every other serve path; raises
+        # in *this* caller, before anything enters a shared window.
+        backend.validate_pairs(pairs)
+        index = operator.index
+        pairs = [(index(u), index(v)) for u, v in pairs]
+        self._ensure_started()
+        loop = self._loop
+        sub = _Submission(pairs, loop.create_future(), loop.time())
+        lane.pending.add(sub.future)
+        sub.future.add_done_callback(lane.pending.discard)
+        self.metrics.record_submit()
+        try:
+            await lane.queue.put(sub)    # backpressure point
+        except asyncio.CancelledError:
+            # Cancelled while blocked on backpressure: the submission
+            # never entered the queue, so resolve its future here —
+            # otherwise it stays in lane.pending and drain() waits on
+            # it forever.
+            sub.future.cancel()
+            self.metrics.record_cancelled()
+            raise
+        if self._closed and not sub.future.done():
+            # Raced past aclose(): the dispatcher may already have
+            # flushed and exited, so fail deterministically instead of
+            # awaiting a future nobody will resolve.
+            sub.future.cancel()
+            raise ServingError(
+                f"broker closed while the {kind} request was queued")
+        try:
+            return await sub.future
+        except asyncio.CancelledError:
+            self.metrics.record_cancelled()
+            raise
+
+    def _ensure_started(self) -> None:
+        """Bind to the running loop and start lane dispatchers once."""
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise ServingError(
+                "RequestBroker is bound to another event loop; create "
+                "one broker per loop")
+        for lane in self._lanes.values():
+            if lane.task is None:
+                lane.task = loop.create_task(
+                    self._run_lane(lane), name=f"broker-{lane.name}")
+
+    # -- coalescing dispatcher -----------------------------------------
+    async def _run_lane(self, lane: _Lane) -> None:
+        """Drain the lane queue window by window until the sentinel."""
+        queue = lane.queue
+        while True:
+            first = await queue.get()
+            if first is _SHUTDOWN:
+                return
+            batch = [first]
+            total = len(first.pairs)
+            stop = False
+            if total < self.max_batch and self.max_wait > 0:
+                deadline = self._loop.time() + self.max_wait
+                while total < self.max_batch:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(queue.get(),
+                                                     remaining)
+                    except asyncio.TimeoutError:
+                        break
+                    if nxt is _SHUTDOWN:
+                        stop = True
+                        break
+                    batch.append(nxt)
+                    total += len(nxt.pairs)
+            else:
+                # max_wait == 0 (or the first submission already fills
+                # the window): no sleeping — only fuse what is queued
+                # right now.
+                while total < self.max_batch:
+                    try:
+                        nxt = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if nxt is _SHUTDOWN:
+                        stop = True
+                        break
+                    batch.append(nxt)
+                    total += len(nxt.pairs)
+            await self._dispatch(lane, batch)
+            if stop:
+                return
+
+    async def _dispatch(self, lane: _Lane,
+                        batch: List[_Submission]) -> None:
+        """Fuse one window, serve it off-loop, demultiplex results."""
+        live = [sub for sub in batch if not sub.future.done()]
+        if not live:
+            return
+        fused: List[Tuple[int, int]] = []
+        for sub in live:
+            fused.extend(sub.pairs)
+        self.metrics.record_dispatch(len(fused))
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, lane.serve, fused)
+        except Exception as exc:
+            # Window-scoped failure: every submission in this window
+            # shares the cause; the lane keeps serving the next one.
+            for sub in live:
+                if not sub.future.done():
+                    self.metrics.record_failure()
+                    sub.future.set_exception(exc)
+            return
+        offset = 0
+        now = self._loop.time()
+        for sub in live:
+            chunk = results[offset:offset + len(sub.pairs)]
+            offset += len(sub.pairs)
+            if not sub.future.done():
+                sub.future.set_result(chunk)
+                self.metrics.record_done(now - sub.enqueued_at)
+
+    # -- lifecycle -----------------------------------------------------
+    async def drain(self) -> None:
+        """Wait until every currently outstanding submission has
+        resolved (without closing).  Useful between load phases."""
+        futures = [fut for lane in self._lanes.values()
+                   for fut in list(lane.pending)]
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: reject new submissions, flush every
+        queued window, then close owned backends.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        started = [lane for lane in self._lanes.values()
+                   if lane.task is not None]
+        for lane in started:
+            await lane.queue.put(_SHUTDOWN)
+        if started:
+            await asyncio.gather(*(lane.task for lane in started))
+        # Submissions that raced behind the sentinel can never be
+        # served; fail them deterministically.
+        for lane in self._lanes.values():
+            while True:
+                try:
+                    sub = lane.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if sub is _SHUTDOWN or sub.future.done():
+                    continue
+                self.metrics.record_failure()
+                sub.future.set_exception(ServingError(
+                    "broker closed before this request was served"))
+        self._executor.shutdown(wait=True)
+        for backend in self._own:
+            close = getattr(backend, "close", None)
+            if callable(close):
+                close()
+        self._own = []
+
+    async def __aenter__(self) -> "RequestBroker":
+        return self
+
+    async def __aexit__(self, *_exc) -> bool:
+        await self.aclose()
+        return False
+
+
+def pooled_broker(router=None, estimator=None, *, workers: int = 0,
+                  pool_kwargs: Optional[dict] = None,
+                  **broker_kwargs) -> RequestBroker:
+    """Construct a broker, optionally over fresh ``RouterPool``s.
+
+    The one place the wrap-in-pools-then-broker sequence lives (both
+    ``SchemePipeline.serve_async`` and the CLI ``serve`` path call
+    it): with ``workers > 0`` each given artifact is wrapped in a
+    :class:`~repro.serving.RouterPool` the broker *owns* (closed by
+    ``aclose()``); any failure mid-construction closes the pools
+    already opened instead of leaving orphaned worker processes.
+    """
+    from ..serving import RouterPool
+
+    own = []
+    try:
+        if workers:
+            kwargs = pool_kwargs or {}
+            if router is not None:
+                router = RouterPool(router, workers=workers, **kwargs)
+                own.append(router)
+            if estimator is not None:
+                estimator = RouterPool(estimator, workers=workers,
+                                       **kwargs)
+                own.append(estimator)
+        return RequestBroker(router=router, estimator=estimator,
+                             own=own, **broker_kwargs)
+    except BaseException:
+        for pool in own:
+            pool.close()
+        raise

@@ -1,0 +1,142 @@
+"""Serving metrics for the async traffic front-end.
+
+The broker's observable contract is latency and batching behaviour, so
+both are first-class here:
+
+* :class:`LatencyRecorder` — a bounded reservoir of per-request
+  latencies with nearest-rank percentiles (p50/p95/p99).  Bounded so a
+  long-lived server never grows without limit; the window (default
+  65536 samples) is large enough that percentiles describe *recent*
+  traffic, which is what an operator watches.
+* :class:`BrokerMetrics` — the broker's counters: submissions,
+  completions, failures, fused dispatches, the fused-batch-size
+  histogram (exact counts — sizes are bounded by ``max_batch`` so the
+  dict cannot grow past that), and a live queue-depth gauge wired to
+  the broker's pending queues.
+
+Everything is plain Python updated from the event loop thread — no
+locks needed, and ``snapshot()`` returns a JSON-able dict so the CLI,
+the load generator, and the benchmark all report the same numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+#: Default bounded-reservoir size for per-request latencies.
+DEFAULT_WINDOW = 65536
+
+#: The percentiles every snapshot reports, in order.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty list.
+
+    Nearest-rank (not interpolated) so a reported p99 is always a
+    latency some request actually experienced.
+    """
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample set")
+    rank = max(1, -(-len(sorted_samples) * q // 100))  # ceil
+    return sorted_samples[int(rank) - 1]
+
+
+class LatencyRecorder:
+    """Bounded reservoir of latencies (seconds) with percentile report."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._samples: deque = deque(maxlen=window)
+        self.count = 0          #: total observations (beyond the window)
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`` over the
+        current window (zeros when nothing was observed yet)."""
+        out: Dict[str, float] = {"count": self.count}
+        if not self._samples:
+            out.update({"mean_ms": 0.0, "max_ms": 0.0})
+            out.update({f"p{int(q)}_ms": 0.0 for q in PERCENTILES})
+            return out
+        ordered = sorted(self._samples)
+        out["mean_ms"] = round(
+            sum(ordered) / len(ordered) * 1000.0, 4)
+        out["max_ms"] = round(ordered[-1] * 1000.0, 4)
+        for q in PERCENTILES:
+            out[f"p{int(q)}_ms"] = round(
+                percentile(ordered, q) * 1000.0, 4)
+        return out
+
+
+class BrokerMetrics:
+    """Counters + latency window for one :class:`RequestBroker`."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 queue_depth: Optional[Callable[[], int]] = None) -> None:
+        self.latency = LatencyRecorder(window)
+        self.submitted = 0        #: submissions accepted into the queue
+        self.completed = 0        #: submissions resolved successfully
+        self.failed = 0           #: submissions resolved with an error
+        self.cancelled = 0        #: submissions dropped by their caller
+        self.dispatches = 0       #: fused backend calls issued
+        self.fused_pairs = 0      #: total pairs across fused dispatches
+        #: fused-batch size -> how many dispatches had exactly that many
+        #: pairs; bounded by ``max_batch`` distinct keys.
+        self.batch_size_hist: Dict[int, int] = {}
+        self._queue_depth = queue_depth or (lambda: 0)
+
+    # -- recording (event-loop thread only) ----------------------------
+    def record_submit(self) -> None:
+        self.submitted += 1
+
+    def record_dispatch(self, fused_size: int) -> None:
+        self.dispatches += 1
+        self.fused_pairs += fused_size
+        self.batch_size_hist[fused_size] = \
+            self.batch_size_hist.get(fused_size, 0) + 1
+
+    def record_done(self, latency_seconds: float) -> None:
+        self.completed += 1
+        self.latency.observe(latency_seconds)
+
+    def record_failure(self) -> None:
+        self.failed += 1
+
+    def record_cancelled(self) -> None:
+        self.cancelled += 1
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Submissions currently waiting for a window (live gauge)."""
+        return self._queue_depth()
+
+    def mean_fused_size(self) -> float:
+        if not self.dispatches:
+            return 0.0
+        return self.fused_pairs / self.dispatches
+
+    def snapshot(self) -> Dict:
+        """One JSON-able dict with everything above."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "dispatches": self.dispatches,
+            "fused_pairs": self.fused_pairs,
+            "mean_fused_size": round(self.mean_fused_size(), 3),
+            "queue_depth": self.queue_depth,
+            "batch_size_hist": {str(k): v for k, v in
+                                sorted(self.batch_size_hist.items())},
+            "latency": self.latency.summary(),
+        }

@@ -1,0 +1,267 @@
+"""Line protocol for the traffic server: length-prefixed TSV frames.
+
+Every frame is ``u32 big-endian payload length | payload``; the payload
+is UTF-8 text with tab-separated fields.  Text inside a binary length
+prefix keeps the protocol trivially debuggable (``xxd`` shows the
+queries) while making framing unambiguous for non-Python clients — no
+escaping, no line-ending rules, and a reader always knows how many
+bytes to wait for.
+
+Requests (first field = op, second = caller-chosen request id echoed
+back verbatim):
+
+====================================  =================================
+``R <id> <u> <v> [<u> <v> ...]``      route a batch of pairs
+``E <id> <u> <v> [<u> <v> ...]``      estimate a batch of pairs
+``PING <id>``                         liveness probe
+``INFO <id>``                         server/artifact metadata
+====================================  =================================
+
+Responses:
+
+* ``OK <id> <result> ...`` — one field per query result, in input
+  order.  A route result is ``weight,center,level,v0-v1-...-vk``
+  (weight as ``%.17g`` so float64 round-trips exactly; ``center`` is
+  ``-1`` for a self-route); an estimate result is ``%.17g``.
+* ``ERR <id> <code> <message>`` — typed error; ``code`` is one of
+  :data:`ERROR_CODES`.  Malformed frames that destroy framing (an
+  oversized or non-numeric length cannot be resynchronized) get an
+  ``ERR`` with id ``-`` and then the connection closes; every decodable
+  frame keeps the connection alive.
+
+The module is transport-agnostic: pure ``bytes <-> message`` codecs
+plus the asyncio stream helpers ``read_frame``/``write_frame``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.compiled import CompiledRoute
+from ..exceptions import ProtocolError
+
+#: Frames longer than this are rejected before allocation — a hostile
+#: or corrupt length prefix must not let a client size our buffers.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Pairs-per-request cap ("oversized batch" in the fuzz grid); large
+#: client batches should be split client-side — the broker re-fuses
+#: them anyway.
+MAX_PAIRS_PER_REQUEST = 4096
+
+#: ``ERR`` frame codes -> meaning.
+ERROR_CODES = {
+    "protocol": "malformed frame or request",
+    "parameter": "well-formed request with invalid query input",
+    "serving": "backend unavailable (shutdown, dead pool worker)",
+    "internal": "unexpected server-side failure",
+}
+
+_LEN = struct.Struct(">I")
+
+_OP_ROUTE = "R"
+_OP_ESTIMATE = "E"
+_OP_PING = "PING"
+_OP_INFO = "INFO"
+
+REQUEST_OPS = (_OP_ROUTE, _OP_ESTIMATE, _OP_PING, _OP_INFO)
+
+
+# ----------------------------------------------------------------------
+# Frame layer
+# ----------------------------------------------------------------------
+def encode_frame(payload: str) -> bytes:
+    """``u32 length | UTF-8 payload`` as one bytes object."""
+    raw = payload.encode("utf-8")
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(raw)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _LEN.pack(len(raw)) + raw
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = MAX_FRAME_BYTES
+                     ) -> Optional[str]:
+    """Read one frame payload; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` for an unrecoverable stream state
+    (oversized declared length, or EOF inside a frame — both mean the
+    byte stream can no longer be trusted to align with frame
+    boundaries) and ``UnicodeDecodeError``-wrapping ``ProtocolError``
+    for a frame whose bytes are not UTF-8 (recoverable: the next frame
+    starts at a known offset).
+    """
+    try:
+        # readexactly, not read(): a 4-byte prefix may legally arrive
+        # split across TCP segments, and a short read here is not EOF.
+        head = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None          # clean EOF between frames
+        raise ProtocolError(
+            f"truncated frame header ({len(exc.partial)} of "
+            f"{_LEN.size} bytes before EOF)") from None
+    (length,) = _LEN.unpack(head)
+    if length > max_frame:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{max_frame}-byte limit")
+    try:
+        raw = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"truncated frame: wanted {length} bytes, stream ended "
+            f"after {len(exc.partial)}") from None
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FramePayloadError(
+            f"frame payload is not valid UTF-8: {exc}") from None
+
+
+class FramePayloadError(ProtocolError):
+    """A frame whose *payload* is bad but whose framing was intact —
+    the server can answer with ``ERR`` and keep the connection."""
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: str) -> None:
+    writer.write(encode_frame(payload))
+
+
+# ----------------------------------------------------------------------
+# Request / response payloads
+# ----------------------------------------------------------------------
+class Request:
+    """One decoded request frame."""
+
+    __slots__ = ("op", "request_id", "pairs")
+
+    def __init__(self, op: str, request_id: str,
+                 pairs: Optional[List[Tuple[int, int]]] = None):
+        self.op = op
+        self.request_id = request_id
+        self.pairs = pairs if pairs is not None else []
+
+    def __repr__(self) -> str:
+        return (f"Request(op={self.op!r}, id={self.request_id!r}, "
+                f"pairs={len(self.pairs)})")
+
+
+def decode_request(payload: str,
+                   max_pairs: int = MAX_PAIRS_PER_REQUEST) -> Request:
+    """Parse a request payload; :class:`ProtocolError` names what is
+    wrong (op, id, arity, integer parse, batch size) so the typed
+    ``ERR`` frame is actually useful to a client author."""
+    fields = payload.split("\t")
+    op = fields[0]
+    if op not in REQUEST_OPS:
+        raise ProtocolError(
+            f"unknown op {op[:32]!r}; expected one of "
+            f"{list(REQUEST_OPS)}")
+    if len(fields) < 2 or not fields[1]:
+        raise ProtocolError(f"{op} frame lacks a request id")
+    request_id = fields[1]
+    if "\n" in request_id or len(request_id) > 64:
+        raise ProtocolError("request id must be <= 64 chars, no "
+                            "newlines")
+    if op in (_OP_PING, _OP_INFO):
+        if len(fields) != 2:
+            raise ProtocolError(
+                f"{op} takes no fields beyond the id, got "
+                f"{len(fields) - 2}")
+        return Request(op, request_id)
+    coords = fields[2:]
+    if not coords:
+        raise ProtocolError(f"{op} frame carries no pairs")
+    if len(coords) % 2:
+        raise ProtocolError(
+            f"{op} frame has an odd number of endpoints "
+            f"({len(coords)}); pairs are 'u<TAB>v'")
+    if len(coords) // 2 > max_pairs:
+        raise ProtocolError(
+            f"request of {len(coords) // 2} pairs exceeds the "
+            f"{max_pairs}-pair limit; split the batch")
+    pairs: List[Tuple[int, int]] = []
+    for i in range(0, len(coords), 2):
+        try:
+            pairs.append((int(coords[i]), int(coords[i + 1])))
+        except ValueError:
+            raise ProtocolError(
+                f"endpoint {coords[i][:32]!r}/{coords[i + 1][:32]!r} "
+                f"is not an integer (pair #{i // 2})") from None
+    return Request(op, request_id, pairs)
+
+
+def encode_request(op: str, request_id: str,
+                   pairs: Sequence[Tuple[int, int]] = ()) -> str:
+    parts = [op, request_id]
+    for u, v in pairs:
+        parts.append(str(u))
+        parts.append(str(v))
+    return "\t".join(parts)
+
+
+# -- results -----------------------------------------------------------
+def encode_route_result(route) -> str:
+    """``weight,center,level,v0-v1-...`` — ``%.17g`` keeps float64
+    exact, so the TCP path stays bit-identical to in-process serving."""
+    center = -1 if route.tree_center is None else route.tree_center
+    path = "-".join(map(str, route.path))
+    return (f"{route.weight:.17g},{center},{route.found_level},"
+            f"{path}")
+
+
+def decode_route_result(field: str, source: int,
+                        target: int) -> CompiledRoute:
+    try:
+        weight_s, center_s, level_s, path_s = field.split(",")
+        path = [int(v) for v in path_s.split("-")]
+        center = int(center_s)
+        return CompiledRoute(
+            source=source, target=target, path=path,
+            weight=float(weight_s),
+            tree_center=None if center < 0 else center,
+            found_level=int(level_s))
+    except (ValueError, IndexError):
+        raise ProtocolError(
+            f"malformed route result field {field[:64]!r}") from None
+
+
+def encode_ok(request_id: str, result_fields: Sequence[str]) -> str:
+    return "\t".join(["OK", request_id, *result_fields])
+
+
+def encode_error(request_id: str, code: str, message: str) -> str:
+    if code not in ERROR_CODES:
+        code = "internal"
+    # Tabs/newlines would corrupt the TSV shape of the frame itself.
+    clean = message.replace("\t", " ").replace("\n", " ")[:512]
+    return "\t".join(["ERR", request_id, code, clean])
+
+
+class Response:
+    """One decoded response frame (client side)."""
+
+    __slots__ = ("ok", "request_id", "fields", "code", "message")
+
+    def __init__(self, ok: bool, request_id: str, fields=(),
+                 code: str = "", message: str = ""):
+        self.ok = ok
+        self.request_id = request_id
+        self.fields = list(fields)
+        self.code = code
+        self.message = message
+
+
+def decode_response(payload: str) -> Response:
+    fields = payload.split("\t")
+    if len(fields) >= 2 and fields[0] == "OK":
+        return Response(True, fields[1], fields[2:])
+    if len(fields) >= 4 and fields[0] == "ERR":
+        return Response(False, fields[1], (), fields[2],
+                        "\t".join(fields[3:]))
+    raise ProtocolError(
+        f"unparseable response frame {payload[:64]!r}")

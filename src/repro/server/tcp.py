@@ -1,0 +1,453 @@
+"""Asyncio traffic server + client for the length-prefixed TSV protocol.
+
+:class:`TrafficServer` fronts one :class:`RequestBroker` with
+``asyncio.start_server`` (TCP) or ``asyncio.start_unix_server``
+(unix-domain socket), so non-Python clients can drive the warm pool
+with nothing but a socket and ``struct``.  Each connection reads
+frames in a loop; every request becomes a task awaiting the broker, so
+one connection can keep many requests in flight and the broker's
+micro-batch window sees *all* connections' traffic at once — the
+server is itself a coalescing funnel, not a per-connection pipeline.
+
+Error containment (pinned by ``tests/server/test_server_fuzz.py``):
+
+* a malformed-but-framed request (bad op, odd arity, non-integer,
+  oversized batch, non-UTF8 payload) gets a typed ``ERR`` frame and
+  the connection keeps serving;
+* a frame that destroys framing (oversized declared length, truncated
+  stream) gets a final ``ERR`` with id ``-`` and the connection closes
+  — the *server* and every other connection stay up;
+* backend errors map to ``ERR`` codes: ``parameter`` for invalid
+  queries, ``serving`` for shutdown/pool death, ``internal`` for
+  anything unexpected.
+
+Graceful shutdown: :meth:`TrafficServer.shutdown` (wired to
+SIGINT/SIGTERM by :meth:`install_signal_handlers`) stops accepting
+connections, lets in-flight requests drain through the broker's
+flush, answers anything submitted after the cut with ``ERR serving``,
+then closes the broker (which closes owned pools, unlinking shm).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+from typing import Dict, Optional
+
+from ..exceptions import ParameterError, ProtocolError, ReproError, \
+    ServingError
+from . import protocol
+from .broker import RequestBroker
+from .protocol import FramePayloadError, Request
+
+#: How long shutdown waits for in-flight connection tasks.
+_DRAIN_TIMEOUT = 10.0
+
+
+class TrafficServer:
+    """Serve a :class:`RequestBroker` over TCP or a unix socket.
+
+    >>> server = TrafficServer(broker, host="127.0.0.1", port=0)
+    >>> await server.start()          # port 0 -> kernel picks; see .port
+    >>> await server.serve_forever()  # returns after .shutdown()
+
+    Parameters
+    ----------
+    broker:
+        The :class:`RequestBroker` to serve.  The server owns it:
+        :meth:`shutdown` closes it (set ``own_broker=False`` to keep
+        it alive, e.g. when tests share one broker across servers).
+    host / port:
+        TCP listen address; ``port=0`` lets the kernel choose (read it
+        back from :attr:`port`).  Ignored when ``unix_path`` is given.
+    unix_path:
+        Serve on a unix-domain socket at this path instead of TCP.
+    max_pairs:
+        Per-request pair cap handed to the protocol decoder.
+    """
+
+    def __init__(self, broker: RequestBroker, host: str = "127.0.0.1",
+                 port: int = 0, unix_path: Optional[str] = None,
+                 max_pairs: int = protocol.MAX_PAIRS_PER_REQUEST,
+                 own_broker: bool = True) -> None:
+        self.broker = broker
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._max_pairs = max_pairs
+        self._own_broker = own_broker
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._shutting_down = asyncio.Event()
+        self._shutdown_done = asyncio.Event()
+        self._signal_tasks: set = set()
+        self.connections_served = 0
+        self.frames_served = 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "TrafficServer":
+        if self._server is not None:
+            raise ServingError("server already started")
+        if self._unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self._unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self._host,
+                port=self._port)
+        return self
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound TCP port (``None`` for unix sockets)."""
+        if self._server is None or self._unix_path is not None:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        if self._unix_path is not None:
+            return f"unix:{self._unix_path}"
+        return f"{self._host}:{self.port}"
+
+    def install_signal_handlers(self) -> None:
+        """SIGINT/SIGTERM -> graceful :meth:`shutdown` (idempotent).
+
+        The shutdown task is kept strongly referenced until done —
+        asyncio only holds tasks weakly, and a GC'd shutdown would
+        strand the drain halfway.
+        """
+        loop = asyncio.get_running_loop()
+
+        def on_signal(sig: signal.Signals) -> None:
+            task = asyncio.ensure_future(
+                self.shutdown(reason=f"signal {sig.name}"))
+            self._signal_tasks.add(task)
+            task.add_done_callback(self._signal_tasks.discard)
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, on_signal, sig)
+
+    async def serve_forever(self) -> None:
+        """Serve until a :meth:`shutdown` has *completed* (drain
+        included), so callers can report/exit the moment it returns."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown_done.wait()
+
+    async def shutdown(self, reason: str = "") -> None:
+        """Stop accepting, drain in-flight requests, close the broker.
+
+        Established-but-idle connections are cancelled after the
+        listener closes: their handlers sit in ``read_frame`` forever
+        otherwise (each handler still drains its own in-flight request
+        tasks from its cleanup path before exiting).  Concurrent and
+        repeated calls await the one real shutdown.
+        """
+        if self._shutting_down.is_set():
+            await self._shutdown_done.wait()
+            return
+        self._shutting_down.set()
+        try:
+            if self._server is not None:
+                self._server.close()
+            if self._unix_path is not None:
+                try:
+                    os.unlink(self._unix_path)
+                except OSError:
+                    pass
+            if self._conn_tasks:
+                for task in list(self._conn_tasks):
+                    task.cancel()
+                done, pending = await asyncio.wait(
+                    self._conn_tasks, timeout=_DRAIN_TIMEOUT)
+                for task in pending:  # pragma: no cover - hung conn
+                    task.cancel()
+            if self._server is not None:
+                # after the handlers above finished, so this returns
+                # promptly on every Python (3.12.1+ waits for them)
+                await self._server.wait_closed()
+            if self._own_broker:
+                await self.broker.aclose()
+        finally:
+            self._shutdown_done.set()
+
+    async def __aenter__(self) -> "TrafficServer":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> bool:
+        await self.shutdown()
+        return False
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.connections_served += 1
+        write_lock = asyncio.Lock()
+        request_tasks: set = set()
+        try:
+            while True:
+                try:
+                    payload = await protocol.read_frame(reader)
+                except FramePayloadError as exc:
+                    # framing survived: answer and keep reading
+                    await self._send(writer, write_lock,
+                                     protocol.encode_error(
+                                         "-", "protocol", str(exc)))
+                    continue
+                except ProtocolError as exc:
+                    # framing is gone: answer once, then hang up
+                    await self._send(writer, write_lock,
+                                     protocol.encode_error(
+                                         "-", "protocol", str(exc)))
+                    break
+                if payload is None:       # clean EOF
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_frame(payload, writer, write_lock))
+                request_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels idle handlers parked in read_frame;
+            # exit quietly (cleanup below still runs) instead of
+            # letting the cancellation surface as an 'Exception in
+            # callback' traceback from the streams machinery.
+            pass
+        finally:
+            if request_tasks:
+                await asyncio.gather(*request_tasks,
+                                     return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._conn_tasks.discard(asyncio.current_task())
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    lock: asyncio.Lock, payload: str) -> None:
+        async with lock:
+            try:
+                protocol.write_frame(writer, payload)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass   # client went away mid-reply; nothing to do
+
+    async def _serve_frame(self, payload: str,
+                           writer: asyncio.StreamWriter,
+                           lock: asyncio.Lock) -> None:
+        """Decode, serve through the broker, reply — all errors become
+        typed ``ERR`` frames, never a dead connection or server."""
+        self.frames_served += 1
+        # Best-effort id recovery *before* full decoding, so a typed
+        # decode error still lands on the caller's pending request
+        # instead of an anonymous "-" frame nobody is waiting for.
+        # Sanitized to the decoder's own id rules (<= 64 chars, no
+        # newlines): the raw field comes from an arbitrary client and
+        # is about to be reflected into a response frame.
+        head = payload.split("\t", 2)
+        request_id = "-"
+        if len(head) >= 2 and head[1]:
+            request_id = head[1].replace("\n", " ") \
+                                .replace("\r", " ")[:64] or "-"
+        try:
+            request = protocol.decode_request(payload, self._max_pairs)
+            request_id = request.request_id
+            reply = await self._answer(request)
+        except ProtocolError as exc:
+            reply = protocol.encode_error(request_id, "protocol",
+                                          str(exc))
+        except ParameterError as exc:
+            reply = protocol.encode_error(request_id, "parameter",
+                                          str(exc))
+        except ServingError as exc:
+            reply = protocol.encode_error(request_id, "serving",
+                                          str(exc))
+        except ReproError as exc:
+            reply = protocol.encode_error(request_id, "internal",
+                                          str(exc))
+        except Exception as exc:  # pragma: no cover - true surprises
+            reply = protocol.encode_error(request_id, "internal",
+                                          f"{type(exc).__name__}: {exc}")
+        await self._send(writer, lock, reply)
+
+    async def _answer(self, request: Request) -> str:
+        rid = request.request_id
+        if self._shutting_down.is_set():
+            raise ServingError("server is shutting down")
+        if request.op == "PING":
+            return protocol.encode_ok(rid, ["PONG"])
+        if request.op == "INFO":
+            return protocol.encode_ok(rid, self._info_fields())
+        if request.op == "R":
+            routes = await self.broker.route_batch(request.pairs)
+            return protocol.encode_ok(
+                rid, [protocol.encode_route_result(r) for r in routes])
+        if request.op == "E":
+            estimates = await self.broker.estimate_batch(request.pairs)
+            return protocol.encode_ok(
+                rid, [f"{e:.17g}" for e in estimates])
+        raise ProtocolError(       # pragma: no cover - decoder gates ops
+            f"unhandled op {request.op!r}")
+
+    def _info_fields(self) -> list:
+        """``key=value`` metadata fields: what the artifact serves and
+        its vertex range — enough for a client/loadgen to generate
+        valid pairs without out-of-band configuration."""
+        fields = []
+        for kind, backend in (("routing", self.broker.router),
+                              ("estimation", self.broker.estimator)):
+            if backend is None:
+                continue
+            n = getattr(backend, "num_vertices", None)
+            if n is None:   # RouterPool: reach through to the artifact
+                n = getattr(getattr(backend, "_artifact", None),
+                            "num_vertices", "?")
+            fields.append(f"{kind}.n={n}")
+        fields.append(f"max_batch={self.broker.max_batch}")
+        fields.append(f"max_pairs={self._max_pairs}")
+        return fields
+
+
+class TrafficClient:
+    """Asyncio client for the TSV frame protocol.
+
+    Multiplexes: requests may be issued concurrently from many tasks
+    over one connection; a single reader task demultiplexes responses
+    by request id.  Used by the load generator, the test suite, and as
+    the reference implementation for clients in other languages.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._ids = 0
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = 0,
+                      unix_path: Optional[str] = None
+                      ) -> "TrafficClient":
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(
+                unix_path)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                payload = await protocol.read_frame(self._reader)
+                if payload is None:
+                    break
+                response = protocol.decode_response(payload)
+                fut = self._pending.pop(response.request_id, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(response)
+        except (ProtocolError, ConnectionResetError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_pending(ServingError(
+                "connection closed with requests outstanding"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+
+    async def _call(self, op: str, pairs=()) -> protocol.Response:
+        if self._closed:
+            raise ServingError("client is closed")
+        if self._reader_task.done():
+            raise ServingError(
+                "connection is closed (server went away)")
+        self._ids += 1
+        rid = str(self._ids)
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        self._writer.write(protocol.encode_frame(
+            protocol.encode_request(op, rid, pairs)))
+        await self._writer.drain()
+        if self._reader_task.done() and not fut.done():
+            # The reader died between registration and now; its
+            # _fail_pending may have swapped the dict before this
+            # future entered it, so fail deterministically here.
+            self._pending.pop(rid, None)
+            raise ServingError(
+                "connection closed with requests outstanding")
+        response = await fut
+        if not response.ok:
+            exc_cls = {"protocol": ProtocolError,
+                       "parameter": ParameterError,
+                       "serving": ServingError}.get(response.code,
+                                                    ServingError)
+            raise exc_cls(f"server: {response.message}")
+        return response
+
+    # -- API -----------------------------------------------------------
+    async def route(self, source: int, target: int):
+        return (await self.route_batch([(source, target)]))[0]
+
+    async def route_batch(self, pairs):
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        response = await self._call("R", pairs)
+        return [protocol.decode_route_result(field, u, v)
+                for field, (u, v) in zip(response.fields, pairs)]
+
+    async def estimate(self, u: int, v: int) -> float:
+        return (await self.estimate_batch([(u, v)]))[0]
+
+    async def estimate_batch(self, pairs):
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        response = await self._call("E", pairs)
+        return [float(field) for field in response.fields]
+
+    async def ping(self) -> bool:
+        response = await self._call("PING")
+        return response.fields == ["PONG"]
+
+    async def info(self) -> Dict[str, str]:
+        response = await self._call("INFO")
+        out = {}
+        for field in response.fields:
+            key, _, value = field.partition("=")
+            out[key] = value
+        return out
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "TrafficClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> bool:
+        await self.aclose()
+        return False

@@ -2,6 +2,7 @@
 compiled artifact.  See ``README.md`` in this directory for the
 architecture and :class:`RouterPool` for the API."""
 
+from .columnar import RESULT_TRANSPORTS
 from .pool import RouterPool
 from .sharding import (
     SHARDING_POLICIES,
@@ -13,6 +14,7 @@ from .shared import TRANSPORTS, default_transport
 
 __all__ = [
     "RouterPool",
+    "RESULT_TRANSPORTS",
     "SHARDING_POLICIES",
     "available_policies",
     "shard_round_robin",

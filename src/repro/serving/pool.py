@@ -27,18 +27,23 @@ caller; a worker *dying* (signal, OOM) surfaces as
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import multiprocessing as mp
 import operator
 import os
 import pickle
 import queue as _queue
+import signal
 import threading
 import time
+import weakref
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.compiled import CompiledEstimation, CompiledScheme, _as_batch
 from ..exceptions import ParameterError, ServingError
+from . import columnar
+from .columnar import RESULT_TRANSPORTS
 from .sharding import resolve_policy
 from .shared import ArtifactHandle, attach_from_init, default_transport
 
@@ -47,6 +52,21 @@ _JOIN_TIMEOUT = 5.0
 
 #: How long workers get to attach + report ready at pool start.
 _READY_TIMEOUT = 60.0
+
+#: Every pool not yet closed, so interpreter shutdown (and only
+#: shutdown — the set holds weak refs) can tear down stragglers whose
+#: owners never reached ``close()``: no leaked worker processes or shm
+#: segments after an uncaught exception unwinds past the pool.
+_OPEN_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leftover_pools() -> None:  # pragma: no cover - process exit
+    for pool in list(_OPEN_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
 
 
 def _portable(exc: BaseException) -> BaseException:
@@ -69,9 +89,11 @@ def _serve_shards(artifact, task_q, result_q) -> None:
         task = task_q.get()
         if task is None:
             return
-        call_id, shard_id, method, pairs, kwargs = task
+        call_id, shard_id, method, pairs, kwargs, codec = task
         try:
             out = getattr(artifact, method)(pairs, **kwargs)
+            if codec == "columnar":
+                out = columnar.encode_result(out)
             result_q.put(("ok", (call_id, shard_id), out))
         except BaseException as exc:
             result_q.put(("err", (call_id, shard_id), _portable(exc)))
@@ -83,6 +105,15 @@ def _worker_main(init, task_q, result_q) -> None:
     serve until the sentinel, then tear the mapping down in dependency
     order (artifact first — its zero-copy arrays are views into the
     segment — then the segment; the parent owns the unlink)."""
+    # The parent owns shutdown: on Ctrl-C the whole foreground process
+    # group gets SIGINT, and workers dying mid-teardown with
+    # KeyboardInterrupt tracebacks would race the parent's own
+    # close() (sentinels, joins, shm unlink).  Workers ignore the
+    # signal; the parent's close() path retires them deterministically.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        pass
     try:
         artifact, shm = attach_from_init(init)
     except BaseException as exc:
@@ -142,6 +173,13 @@ class RouterPool:
         Workers pull shards off a shared queue, so oversharding both
         load-balances and *streams*: the parent deserializes early
         shards while workers still serve later ones.
+    result_transport:
+        How shard results travel back: ``"columnar"`` (default)
+        struct-packs each shard into flat int64/float64 byte columns
+        the parent decodes in one sweep (see ``columnar.py``);
+        ``"rows"`` pickles the result objects directly (the legacy
+        path, kept for measurement and as a fallback).  Both are
+        bit-identical.
     """
 
     def __init__(self, artifact, workers: Optional[int] = None,
@@ -149,7 +187,8 @@ class RouterPool:
                  start_method: Optional[str] = None,
                  transport: Optional[str] = None,
                  materialize: bool = True,
-                 shards_per_worker: int = 4) -> None:
+                 shards_per_worker: int = 4,
+                 result_transport: str = "columnar") -> None:
         # State first, so close() is safe from any failure below.
         self._closed = False
         self._procs: List = []
@@ -179,6 +218,11 @@ class RouterPool:
             raise ParameterError(
                 f"shards_per_worker must be >= 1, got "
                 f"{shards_per_worker}")
+        if result_transport not in RESULT_TRANSPORTS:
+            raise ParameterError(
+                f"unknown result transport {result_transport!r}; "
+                f"choose from {list(RESULT_TRANSPORTS)}")
+        self._result_transport = result_transport
         self._shards_per_worker = int(shards_per_worker)
         self._artifact = artifact
         self._policy_name = policy
@@ -212,6 +256,7 @@ class RouterPool:
         except BaseException:
             self.close()
             raise
+        _OPEN_POOLS.add(self)
 
     # -- introspection -------------------------------------------------
     @property
@@ -229,6 +274,16 @@ class RouterPool:
     @property
     def start_method(self) -> str:
         return self._start_method
+
+    @property
+    def result_transport(self) -> str:
+        return self._result_transport
+
+    def validate_pairs(self, pairs: Sequence) -> None:
+        """The artifact's batch-input prepass, re-exposed so front-ends
+        (e.g. the async broker) can fail a request at *submission* time
+        with the exact exception any serve path would raise."""
+        self._artifact.validate_pairs(pairs)
 
     @property
     def pids(self) -> List[int]:
@@ -268,8 +323,25 @@ class RouterPool:
         return self._serve("_estimate_many_validated", pairs, {},
                            CompiledEstimation)
 
+    def _route_many_validated(self, pairs: Sequence[Tuple[int, int]],
+                              max_hops: Optional[int] = None) -> List:
+        """:meth:`route_many` minus the input prepass — the same
+        contract (and name) the compiled artifacts expose, so a
+        front-end that already validated at submission (the async
+        broker) does not re-validate every fused window."""
+        kwargs = {} if max_hops is None else {"max_hops": max_hops}
+        return self._serve("_route_many_validated", pairs, kwargs,
+                           CompiledScheme, validated=True)
+
+    def _estimate_many_validated(self, pairs: Sequence[Tuple[int, int]]
+                                 ) -> List[float]:
+        """:meth:`estimate_many` minus the input prepass (see
+        :meth:`_route_many_validated`)."""
+        return self._serve("_estimate_many_validated", pairs, {},
+                           CompiledEstimation, validated=True)
+
     def _serve(self, method: str, pairs: Sequence, kwargs: dict,
-               required_cls) -> List:
+               required_cls, validated: bool = False) -> List:
         if self._closed:
             raise ServingError(
                 f"cannot call {method} on a closed RouterPool")
@@ -285,16 +357,19 @@ class RouterPool:
         # exceptions to the single-process path, and workers only ever
         # see well-formed shards — which is why dispatch goes to the
         # ``*_validated`` entry points (no re-validation per shard).
-        pairs = _as_batch(pairs)
-        self._artifact.validate_pairs(pairs)
+        # ``validated=True`` callers already ran this exact prepass
+        # (and normalized to plain-int tuples) at their own boundary.
+        if not validated:
+            pairs = _as_batch(pairs)
+            self._artifact.validate_pairs(pairs)
+            # Normalize to plain-int tuples before sharding: an exotic
+            # pair object that validates but cannot pickle would
+            # otherwise die silently in the task queue's feeder thread
+            # and hang the call — and plain ints pickle cheapest.
+            index = operator.index
+            pairs = [(index(u), index(v)) for u, v in pairs]
         if len(pairs) == 0:
             return []
-        # Normalize to plain-int tuples before sharding: an exotic
-        # pair object that validates but cannot pickle would otherwise
-        # die silently in the task queue's feeder thread and hang the
-        # call — and plain ints pickle cheapest anyway.
-        index = operator.index
-        pairs = [(index(u), index(v)) for u, v in pairs]
         with self._serve_lock:
             return self._dispatch(method, pairs, kwargs)
 
@@ -304,9 +379,10 @@ class RouterPool:
         shards = [idxs for idxs in
                   self._policy(pairs, num_shards) if idxs]
         call_id = next(self._call_counter)
+        codec = self._result_transport
         for shard_id, idxs in enumerate(shards):
             self._task_q.put((call_id, shard_id, method,
-                              [pairs[i] for i in idxs], kwargs))
+                              [pairs[i] for i in idxs], kwargs, codec))
         results: List = [None] * len(pairs)
         errors = {}
         outstanding = len(shards)
@@ -321,6 +397,8 @@ class RouterPool:
             if tag == "err":
                 errors[shard_id] = payload
             else:
+                if codec == "columnar":
+                    payload = columnar.decode_result(payload)
                 for i, res in zip(shards[shard_id], payload):
                     results[i] = res
         if errors:
@@ -378,6 +456,7 @@ class RouterPool:
         if self._closed:
             return
         self._closed = True
+        _OPEN_POOLS.discard(self)
         if self._task_q is not None:
             for _ in self._procs:
                 try:

@@ -1,0 +1,63 @@
+"""Shared fixtures for the async traffic front-end suite.
+
+One small scheme is built per session and shared across the broker,
+TCP, fuzz and loadgen tests — the subsystem's contract is bit-identity
+and liveness, not scale.  Tests run plain coroutines through
+``asyncio.run`` (no event-loop plugin needed) via
+``server_helpers.run``, which adds a watchdog timeout.  The pool
+start method follows ``REPRO_START_METHOD`` like ``tests/serving``.
+"""
+
+import multiprocessing as mp
+import os
+import random
+
+import pytest
+
+from repro.pipeline import SchemePipeline
+
+
+@pytest.fixture(scope="session")
+def start_method():
+    """Pool start method under test: REPRO_START_METHOD or default."""
+    requested = os.environ.get("REPRO_START_METHOD") or None
+    if requested is not None \
+            and requested not in mp.get_all_start_methods():
+        pytest.skip(f"start method {requested!r} unavailable here")
+    return requested
+
+
+@pytest.fixture(scope="session")
+def built_pipeline():
+    return (SchemePipeline().workload("grid", 25).params(2).seed(3))
+
+
+@pytest.fixture(scope="session")
+def compiled(built_pipeline):
+    return built_pipeline.compile()
+
+
+@pytest.fixture(scope="session")
+def estimation(built_pipeline):
+    return built_pipeline.compile_estimation()
+
+
+@pytest.fixture(scope="session")
+def query_pairs(compiled):
+    """Seeded mixed pairs: random + duplicates + self-routes."""
+    n = compiled.num_vertices
+    rng = random.Random(41)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(240)]
+    pairs[10:10] = [pairs[0]] * 5          # duplicates
+    pairs[50:50] = [(v, v) for v in range(0, n, 5)]   # self pairs
+    return pairs
+
+
+@pytest.fixture(scope="session")
+def expected_routes(compiled, query_pairs):
+    return compiled.route_many(query_pairs)
+
+
+@pytest.fixture(scope="session")
+def expected_estimates(estimation, query_pairs):
+    return estimation.estimate_many(query_pairs)

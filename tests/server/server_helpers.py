@@ -1,0 +1,22 @@
+"""Helpers shared by the traffic front-end tests.
+
+Lives outside ``conftest.py`` so test modules can import it under a
+repo-unique name (several directories carry a conftest).
+"""
+
+import asyncio
+
+#: Upper bound for any single async test body.
+ASYNC_TEST_TIMEOUT = 60.0
+
+
+def run(coro):
+    """``asyncio.run`` with a suite-wide watchdog timeout, so a broken
+    broker fails the test instead of hanging the suite."""
+    async def timed():
+        return await asyncio.wait_for(coro, ASYNC_TEST_TIMEOUT)
+    return asyncio.run(timed())
+
+
+def chunks(seq, size):
+    return [seq[i:i + size] for i in range(0, len(seq), size)]

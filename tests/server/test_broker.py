@@ -1,0 +1,301 @@
+"""Broker correctness: bit-identity to in-process batch serving.
+
+The contract under test (ISSUE acceptance): results served through the
+async broker — any ``max_wait_ms``/``max_batch``, in-process or pool
+backend with workers {1, 2, 4} — are bit-identical to
+``route_many``/``estimate_many``, with each client's input order
+preserved, under concurrent interleaved clients, duplicate and self
+pairs, and mid-stream cancellation.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from server_helpers import chunks, run
+
+from repro.exceptions import ParameterError, ServingError
+from repro.server import RequestBroker
+from repro.serving import RouterPool
+
+
+@pytest.mark.parametrize("max_batch,max_wait_ms", [
+    (1, 0.0),       # no coalescing at all
+    (4, 0.0),       # greedy drain, no timer
+    (7, 0.5),       # odd window, short timer
+    (64, 2.0),      # the default-ish shape
+    (10_000, 1.0),  # window never fills: timer closes every window
+])
+def test_concurrent_clients_bit_identical(compiled, estimation,
+                                          query_pairs, expected_routes,
+                                          expected_estimates,
+                                          max_batch, max_wait_ms):
+    """Many interleaved route/estimate clients, every window shape:
+    each client's results equal the in-process batch, in order."""
+    per_client = chunks(query_pairs, 30)
+    exp_routes = chunks(expected_routes, 30)
+    exp_estimates = chunks(expected_estimates, 30)
+
+    async def route_client(pairs):
+        # alternates single submits and small batches mid-stream
+        out = []
+        for i in range(0, len(pairs), 3):
+            head = pairs[i:i + 1]
+            tail = pairs[i + 1:i + 3]
+            out.append((await broker.route_batch(head))[0])
+            if tail:
+                out.extend(await broker.route_batch(tail))
+        return out
+
+    async def estimate_client(pairs):
+        return [await broker.estimate(u, v) for u, v in pairs]
+
+    async def main():
+        results = await asyncio.gather(*(
+            [route_client(p) for p in per_client]
+            + [estimate_client(p) for p in per_client]))
+        return results
+
+    broker = RequestBroker(router=compiled, estimator=estimation,
+                           max_batch=max_batch,
+                           max_wait_ms=max_wait_ms)
+
+    async def scoped():
+        async with broker:
+            return await main()
+
+    results = run(scoped())
+    k = len(per_client)
+    for got, exp in zip(results[:k], exp_routes):
+        assert got == exp
+    for got, exp in zip(results[k:], exp_estimates):
+        assert got == exp
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_pool_backend_bit_identical(compiled, estimation, query_pairs,
+                                    expected_routes,
+                                    expected_estimates, workers,
+                                    start_method):
+    """Broker over a warm RouterPool: same bits as in-process."""
+    async def main(broker):
+        async with broker:
+            routes, estimates = await asyncio.gather(
+                asyncio.gather(*(broker.route(u, v)
+                                 for u, v in query_pairs)),
+                asyncio.gather(*(broker.estimate(u, v)
+                                 for u, v in query_pairs)))
+            return list(routes), list(estimates)
+
+    with RouterPool(compiled, workers=workers,
+                    start_method=start_method) as rpool, \
+            RouterPool(estimation, workers=workers,
+                       start_method=start_method) as epool:
+        broker = RequestBroker(router=rpool, estimator=epool,
+                               max_batch=48, max_wait_ms=1.0)
+        routes, estimates = run(main(broker))
+    assert routes == expected_routes
+    assert estimates == expected_estimates
+
+
+def test_broker_owns_and_closes_pools(compiled, start_method):
+    """A pool handed over via ``own`` is closed by ``aclose()``."""
+    pool = RouterPool(compiled, workers=1, start_method=start_method)
+
+    async def main():
+        async with RequestBroker(router=pool, own=[pool]) as broker:
+            route = await broker.route(0, 7)
+        return route
+
+    route = run(main())
+    assert route == compiled.route(0, 7)
+    assert pool.closed
+
+
+def test_single_and_empty_batches(compiled):
+    async def main():
+        async with RequestBroker(router=compiled) as broker:
+            assert await broker.route_batch([]) == []
+            one = await broker.route_batch([(2, 9)])
+            assert one == compiled.route_many([(2, 9)])
+    run(main())
+
+
+def test_validation_raises_in_caller_not_window(compiled):
+    """A malformed submission fails alone with the standard exception;
+    a well-formed concurrent request in the same window still serves."""
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=16,
+                                 max_wait_ms=5.0) as broker:
+            good = asyncio.ensure_future(broker.route(1, 2))
+            with pytest.raises(ParameterError):
+                await broker.route_batch([(1, 2), (0, 10 ** 9)])
+            with pytest.raises(ParameterError):
+                await broker.route_batch([(1,)])
+            assert await good == compiled.route(1, 2)
+    run(main())
+
+
+def test_wrong_kind_raises(compiled):
+    async def main():
+        async with RequestBroker(router=compiled) as broker:
+            with pytest.raises(ParameterError):
+                await broker.estimate(0, 1)
+    run(main())
+
+
+def test_constructor_validation(compiled):
+    with pytest.raises(ParameterError):
+        RequestBroker()
+    with pytest.raises(ParameterError):
+        RequestBroker(router=object())
+    with pytest.raises(ParameterError):
+        RequestBroker(router=compiled, max_batch=0)
+    with pytest.raises(ParameterError):
+        RequestBroker(router=compiled, max_wait_ms=-1)
+    with pytest.raises(ParameterError):
+        RequestBroker(router=compiled, max_pending=0)
+
+
+def test_mid_stream_cancellation(compiled, query_pairs):
+    """A client cancelling mid-stream neither corrupts nor blocks the
+    other clients' results."""
+    n = compiled.num_vertices
+
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=8,
+                                 max_wait_ms=2.0) as broker:
+            victim = asyncio.ensure_future(
+                asyncio.gather(*(broker.route(u, v)
+                                 for u, v in query_pairs[:40])))
+            survivors = [asyncio.ensure_future(broker.route(u, v))
+                         for u, v in query_pairs[40:80]]
+            await asyncio.sleep(0)      # let submissions enqueue
+            victim.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            results = await asyncio.gather(*survivors)
+            assert broker.metrics.snapshot()["cancelled"] >= 0
+            return list(results)
+
+    results = run(main())
+    expected = compiled.route_many(query_pairs[40:80])
+    assert results == expected
+
+
+def test_closed_broker_rejects(compiled):
+    async def main():
+        broker = RequestBroker(router=compiled)
+        assert await broker.route(0, 1) == compiled.route(0, 1)
+        await broker.aclose()
+        await broker.aclose()       # idempotent
+        with pytest.raises(ServingError):
+            await broker.route(2, 3)
+    run(main())
+
+
+def test_shutdown_flushes_queued_windows(compiled, query_pairs):
+    """aclose() drains everything already submitted: queued windows
+    are served, not dropped."""
+    async def main():
+        broker = RequestBroker(router=compiled, max_batch=4,
+                               max_wait_ms=50.0)
+        futures = [asyncio.ensure_future(broker.route(u, v))
+                   for u, v in query_pairs[:30]]
+        await asyncio.sleep(0)
+        await broker.aclose()
+        return await asyncio.gather(*futures)
+
+    results = run(main())
+    assert list(results) == compiled.route_many(query_pairs[:30])
+
+
+def test_drain_waits_for_outstanding(compiled, query_pairs):
+    """drain() returns only after every outstanding submission has a
+    result, and the broker keeps serving afterwards."""
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=8,
+                                 max_wait_ms=5.0) as broker:
+            futures = [asyncio.ensure_future(broker.route(u, v))
+                       for u, v in query_pairs[:20]]
+            await asyncio.sleep(0)
+            await broker.drain()
+            assert all(f.done() for f in futures)
+            results = [f.result() for f in futures]
+            assert (await broker.route(0, 1)) == compiled.route(0, 1)
+            return results
+
+    assert run(main()) == compiled.route_many(query_pairs[:20])
+
+
+def test_backpressure_bounds_queue(compiled, query_pairs):
+    """With a tiny max_pending, every submission still serves, and the
+    pending queue never exceeds its bound."""
+    depths = []
+
+    async def client(pairs, broker):
+        out = []
+        for u, v in pairs:
+            out.append(await broker.route(u, v))
+            depths.append(broker.metrics.queue_depth)
+        return out
+
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=4,
+                                 max_wait_ms=0.2,
+                                 max_pending=3) as broker:
+            per_client = chunks(query_pairs[:120], 12)
+            results = await asyncio.gather(
+                *(client(p, broker) for p in per_client))
+            return [r for sub in results for r in sub]
+
+    got = run(main())
+    expected = [r for sub in
+                (compiled.route_many(p)
+                 for p in chunks(query_pairs[:120], 12))
+                for r in sub]
+    assert got == expected
+    assert max(depths) <= 3
+
+
+def test_cancel_while_blocked_on_backpressure(compiled, query_pairs):
+    """A submitter cancelled while waiting at the full queue must not
+    leave an unresolved future behind — drain() still returns."""
+    class SlowBackend:
+        def __init__(self, inner):
+            self._inner = inner
+            self.validate_pairs = inner.validate_pairs
+
+        def route_many(self, pairs):
+            time.sleep(0.05)        # hold the dispatch thread busy
+            return self._inner.route_many(pairs)
+
+    async def main():
+        async with RequestBroker(router=SlowBackend(compiled),
+                                 max_batch=1, max_wait_ms=0.0,
+                                 max_pending=1) as broker:
+            first = asyncio.ensure_future(broker.route(0, 1))
+            second = asyncio.ensure_future(broker.route(1, 2))
+            blocked = asyncio.ensure_future(broker.route(2, 3))
+            await asyncio.sleep(0.01)   # let 'blocked' hit queue.put
+            blocked.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await blocked
+            await asyncio.wait_for(broker.drain(), timeout=5.0)
+            lanes = broker._lanes.values()
+            assert all(not lane.pending for lane in lanes)
+            return await asyncio.gather(first, second)
+
+    assert run(main()) == compiled.route_many([(0, 1), (1, 2)])
+
+
+def test_loop_affinity_guard(compiled):
+    """A broker bound to one loop refuses reuse from another."""
+    broker = RequestBroker(router=compiled)
+    run(broker.route(0, 1))
+    with pytest.raises(ServingError):
+        run(broker.route(1, 2))
+    # close from a third loop: lanes' tasks belong to a dead loop, so
+    # just verify close-flag semantics via the public error
+    assert not broker.closed

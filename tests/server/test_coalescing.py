@@ -1,0 +1,156 @@
+"""Coalescing-window edge cases and metrics accounting.
+
+The windows under test: a window of exactly 1 (no concurrency — the
+timer closes it alone), ``max_batch`` hit exactly (no over-fill, no
+starvation), ``max_batch=1`` (coalescing disabled: dispatch count ==
+submission count), empty flush (close with nothing pending), and the
+fused-batch-size histogram / latency reservoir that make the broker
+observable.
+"""
+
+import asyncio
+
+from server_helpers import run
+
+from repro.server import RequestBroker
+from repro.server.metrics import LatencyRecorder, percentile
+
+
+def test_window_of_one_lone_request(compiled):
+    """A single request with nobody else around is dispatched alone
+    after the wait window — it must not wait for a full batch."""
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=64,
+                                 max_wait_ms=1.0) as broker:
+            route = await broker.route(0, 7)
+            snap = broker.metrics.snapshot()
+            assert snap["dispatches"] == 1
+            assert snap["batch_size_hist"] == {"1": 1}
+            return route
+    assert run(main()) == compiled.route(0, 7)
+
+
+def test_max_batch_hit_exactly(compiled, query_pairs):
+    """Submitting exactly max_batch pairs at once closes the window
+    immediately (one fused dispatch, no timer wait)."""
+    k = 16
+    pairs = query_pairs[:k]
+
+    async def main():
+        # huge wait: if the window didn't close on size, this would
+        # stall for 10s and the watchdog would flag it
+        async with RequestBroker(router=compiled, max_batch=k,
+                                 max_wait_ms=10_000.0) as broker:
+            futures = [asyncio.ensure_future(broker.route(u, v))
+                       for u, v in pairs]
+            results = await asyncio.wait_for(
+                asyncio.gather(*futures), timeout=5.0)
+            hist = broker.metrics.snapshot()["batch_size_hist"]
+            assert hist.get(str(k)) == 1
+            return list(results)
+
+    assert run(main()) == compiled.route_many(pairs)
+
+
+def test_max_batch_one_never_coalesces(compiled, query_pairs):
+    """max_batch=1: every submission is its own dispatch — the
+    benchmark's no-coalescing baseline is real."""
+    pairs = query_pairs[:20]
+
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=1,
+                                 max_wait_ms=5.0) as broker:
+            results = await asyncio.gather(
+                *(broker.route(u, v) for u, v in pairs))
+            snap = broker.metrics.snapshot()
+            assert snap["dispatches"] == len(pairs)
+            assert set(snap["batch_size_hist"]) == {"1"}
+            return list(results)
+
+    assert run(main()) == compiled.route_many(pairs)
+
+
+def test_zero_wait_greedy_drain(compiled, query_pairs):
+    """max_wait_ms=0 grabs whatever is already queued — concurrent
+    submissions still coalesce, but nothing ever sleeps on a timer."""
+    pairs = query_pairs[:64]
+
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=64,
+                                 max_wait_ms=0.0) as broker:
+            results = await asyncio.gather(
+                *(broker.route(u, v) for u, v in pairs))
+            snap = broker.metrics.snapshot()
+            # far fewer dispatches than submissions: coalescing worked
+            # purely off queue pressure
+            assert snap["dispatches"] < len(pairs)
+            assert snap["fused_pairs"] == len(pairs)
+            return list(results)
+
+    assert run(main()) == compiled.route_many(pairs)
+
+
+def test_empty_flush_on_close(compiled):
+    """Opening and closing an idle broker dispatches nothing."""
+    async def main():
+        broker = RequestBroker(router=compiled)
+        await broker.aclose()
+        assert broker.metrics.snapshot()["dispatches"] == 0
+        # close before any submit: lanes never started, still clean
+        assert broker.closed
+    run(main())
+
+
+def test_oversized_submission_dispatches_alone(compiled, query_pairs):
+    """A single client batch larger than max_batch is never split —
+    it forms its own oversized window."""
+    pairs = query_pairs[:40]
+
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=8,
+                                 max_wait_ms=0.0) as broker:
+            results = await broker.route_batch(pairs)
+            hist = broker.metrics.snapshot()["batch_size_hist"]
+            assert hist == {str(len(pairs)): 1}
+            return results
+
+    assert run(main()) == compiled.route_many(pairs)
+
+
+def test_metrics_latency_accounting(compiled, query_pairs):
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=16,
+                                 max_wait_ms=0.5) as broker:
+            await asyncio.gather(*(broker.route(u, v)
+                                   for u, v in query_pairs[:50]))
+            snap = broker.metrics.snapshot()
+            assert snap["submitted"] == 50
+            assert snap["completed"] == 50
+            assert snap["failed"] == 0
+            lat = snap["latency"]
+            assert lat["count"] == 50
+            assert 0 < lat["p50_ms"] <= lat["p95_ms"] <= lat["p99_ms"]
+            assert lat["max_ms"] >= lat["p99_ms"]
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# metrics primitives
+# ----------------------------------------------------------------------
+def test_percentile_nearest_rank():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(samples, 50) == 5.0
+    assert percentile(samples, 95) == 10.0
+    assert percentile(samples, 99) == 10.0
+    assert percentile([7.0], 50) == 7.0
+
+
+def test_latency_recorder_window_bound():
+    rec = LatencyRecorder(window=10)
+    for i in range(100):
+        rec.observe(i / 1000.0)
+    assert rec.count == 100
+    assert len(rec) == 10
+    summary = rec.summary()
+    # only the last 10 samples (90..99 ms) are in the window
+    assert summary["p50_ms"] >= 90.0

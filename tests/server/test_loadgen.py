@@ -1,0 +1,136 @@
+"""Load generator: seeded determinism, both loop modes, both targets.
+
+The loadgen is itself a measurement instrument, so the tests pin what
+makes measurements trustworthy: pair mixes replay exactly under one
+seed, closed-loop issues exactly ``clients × requests`` requests,
+open-loop honours the arrival schedule and reports queueing in its
+latencies, and reports carry the JSON schema CI asserts on.
+"""
+
+import asyncio
+
+import pytest
+
+from server_helpers import run
+
+from repro.exceptions import ParameterError
+from repro.server import RequestBroker, TrafficServer
+from repro.server.loadgen import (
+    PAIR_MIXES,
+    broker_targets,
+    make_mix,
+    run_closed_loop,
+    run_open_loop,
+    tcp_targets,
+)
+
+#: Keys every load report must carry (CI asserts this schema on the
+#: smoke burst too — keep in sync with ``LoadReport.to_dict``).
+REPORT_SCHEMA = {"mode", "op", "mix", "seed", "requests", "errors",
+                 "duration_seconds", "achieved_rps", "latency"}
+
+LATENCY_SCHEMA = {"count", "mean_ms", "max_ms", "p50_ms", "p95_ms",
+                  "p99_ms"}
+
+
+@pytest.mark.parametrize("mix", sorted(PAIR_MIXES))
+def test_mixes_are_seeded_and_in_range(mix, compiled):
+    n = compiled.num_vertices
+    a = make_mix(mix, n, seed=7)
+    b = make_mix(mix, n, seed=7)
+    draws_a = [a() for _ in range(200)]
+    draws_b = [b() for _ in range(200)]
+    assert draws_a == draws_b, "same seed must replay the same pairs"
+    assert all(0 <= u < n and 0 <= v < n for u, v in draws_a)
+    c = make_mix(mix, n, seed=8)
+    assert [c() for _ in range(200)] != draws_a
+
+
+def test_hotspot_mix_skews_sources(compiled):
+    n = compiled.num_vertices
+    draw = make_mix("hotspot", n, seed=3)
+    sources = [draw()[0] for _ in range(2000)]
+    counts = sorted((sources.count(v) for v in set(sources)),
+                    reverse=True)
+    # Zipf: the hottest source dominates a uniform share by a lot
+    assert counts[0] > 3 * (2000 / n)
+
+
+def test_repeated_mix_has_small_working_set(compiled):
+    n = compiled.num_vertices
+    draw = make_mix("repeated", n, seed=3)
+    assert len({draw() for _ in range(500)}) <= 32
+
+
+def test_unknown_mix_raises(compiled):
+    with pytest.raises(ParameterError):
+        make_mix("nope", compiled.num_vertices, 0)
+
+
+def test_closed_loop_counts_and_schema(compiled):
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=32,
+                                 max_wait_ms=0.2) as broker:
+            return await run_closed_loop(
+                broker_targets(broker), compiled.num_vertices,
+                clients=6, requests_per_client=15, seed=5)
+
+    report = run(main())
+    assert report.requests == 6 * 15
+    assert report.errors == 0
+    record = report.to_dict()
+    assert REPORT_SCHEMA <= set(record)
+    assert LATENCY_SCHEMA <= set(record["latency"])
+    assert record["clients"] == 6
+    assert record["latency"]["count"] == 90
+    assert record["achieved_rps"] > 0
+
+
+def test_open_loop_poisson_schema(compiled):
+    async def main():
+        async with RequestBroker(router=compiled, max_batch=32,
+                                 max_wait_ms=0.2) as broker:
+            return await run_open_loop(
+                broker_targets(broker), compiled.num_vertices,
+                rps=3000.0, total_requests=120, seed=5)
+
+    report = run(main())
+    assert report.requests == 120
+    assert report.errors == 0
+    record = report.to_dict()
+    assert REPORT_SCHEMA <= set(record)
+    assert record["target_rps"] == 3000.0
+    # arrivals are externally paced: the run cannot finish faster than
+    # the schedule's last arrival
+    assert report.duration_seconds >= 120 / 3000.0 * 0.2
+
+
+def test_estimate_op(estimation):
+    async def main():
+        async with RequestBroker(estimator=estimation, max_batch=32,
+                                 max_wait_ms=0.2) as broker:
+            return await run_closed_loop(
+                broker_targets(broker), estimation.num_vertices,
+                clients=4, requests_per_client=10, op="estimate",
+                seed=2)
+
+    report = run(main())
+    assert report.requests == 40 and report.errors == 0
+    assert report.op == "estimate"
+
+
+def test_tcp_targets_against_live_server(compiled, estimation):
+    """The loadgen drives a real server over sockets — the CI smoke
+    path in miniature."""
+    async def main():
+        broker = RequestBroker(router=compiled, estimator=estimation,
+                               max_batch=32, max_wait_ms=0.2)
+        async with TrafficServer(broker, port=0) as server:
+            report = await run_closed_loop(
+                tcp_targets(port=server.port), compiled.num_vertices,
+                clients=4, requests_per_client=10, seed=9)
+        return report
+
+    report = run(main())
+    assert report.requests == 40
+    assert report.errors == 0

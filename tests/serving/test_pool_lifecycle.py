@@ -114,6 +114,27 @@ class TestShutdown:
         _assert_shm_unlinked(name)
 
 
+class TestSignals:
+
+    def test_workers_ignore_sigint(self, case, start_method):
+        """Ctrl-C hits the whole foreground process group; workers must
+        shrug it off so the parent's close() drives one deterministic
+        teardown instead of racing worker KeyboardInterrupt deaths."""
+        with RouterPool(case["compiled"], workers=2,
+                        start_method=start_method) as pool:
+            pids = pool.pids
+            name = pool.shm_name
+            for pid in pids:
+                os.kill(pid, signal.SIGINT)
+            time.sleep(0.2)
+            # all workers alive and still serving after the signal
+            batch = case["batches"]["random"][:50]
+            assert pool.route_many(batch) == \
+                case["expected_routes"]["random"][:50]
+        _assert_gone(pids)
+        _assert_shm_unlinked(name)
+
+
 class TestWorkerDeath:
 
     def test_killed_worker_raises_not_hangs(self, case, start_method):

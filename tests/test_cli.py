@@ -16,6 +16,21 @@ class TestParser:
         assert args.n == 64
         assert args.k == 3
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "scheme.cra"])
+        assert args.artifact == ["scheme.cra"]
+        assert args.port == 8642
+        assert args.workers == 0
+        assert args.max_batch == 128
+        assert args.max_wait_ms == 2.0
+        assert args.max_pending == 1024
+
+    def test_bench_traffic_defaults(self):
+        args = build_parser().parse_args(["bench-traffic", "s.cra"])
+        assert args.clients == 32
+        assert args.requests == 50
+        assert args.max_batch == 128
+
     def test_all_workloads_buildable(self):
         for name, factory in WORKLOADS.items():
             g = factory(40, 1)
@@ -134,6 +149,39 @@ class TestQueryServing:
             float(row[2]), int(row[3])
             assert row[4].split("-")[0] == row[0]
             assert row[4].split("-")[-1] == row[1]
+
+
+class TestTraffic:
+    """The streaming front-end's CLI surface (the server loop itself
+    is covered end-to-end in tests/server)."""
+
+    @pytest.fixture(scope="class")
+    def artifact_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-traffic") / "scheme.cra"
+        from repro.pipeline import SchemePipeline
+        (SchemePipeline().workload("grid", 25).params(2).seed(3)
+         .compile().save(path))
+        return str(path)
+
+    def test_bench_traffic_smoke(self, artifact_path, tmp_path,
+                                 capsys):
+        out_file = tmp_path / "traffic.json"
+        assert main(["bench-traffic", artifact_path,
+                     "--clients", "4", "--requests", "5",
+                     "--rps", "300", "--max-wait-ms", "0",
+                     "--out", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        assert "coalescing speedup" in printed
+        import json
+        record = json.loads(out_file.read_text())
+        assert {"closed_baseline", "closed_coalescing",
+                "open_poisson", "coalescing_speedup"} <= set(record)
+        assert record["closed_coalescing"]["requests"] == 20
+
+    def test_serve_rejects_duplicate_kinds(self, artifact_path):
+        import pytest
+        with pytest.raises(SystemExit, match="two routing"):
+            main(["serve", artifact_path, artifact_path])
 
 
 class TestBuildServeSplit:

@@ -141,3 +141,54 @@ class TestWorkloadProvenance:
         built = SchemePipeline().graph(graph).params(2).build()
         assert built.requested_n is None
         assert built.workload == "custom"
+
+
+class TestServeAsync:
+    """The streaming stage of the lifecycle: build → compile →
+    serve_async (broker internals are pinned in tests/server)."""
+
+    def test_serve_async_both_kinds_bit_identical(self):
+        import asyncio
+
+        pipeline = (SchemePipeline().workload("grid", 25).params(2)
+                    .seed(3))
+        compiled = pipeline.compile()
+        estimation = pipeline.compile_estimation()
+
+        async def main():
+            broker = pipeline.serve_async(kind="both",
+                                          max_wait_ms=0.5)
+            async with broker:
+                assert broker.serves_routing
+                assert broker.serves_estimation
+                route = await broker.route(0, 7)
+                estimate = await broker.estimate(0, 7)
+            return route, estimate
+
+        route, estimate = asyncio.run(main())
+        assert route == compiled.route(0, 7)
+        assert estimate == estimation.estimate(0, 7)
+
+    def test_serve_async_pool_backend_owned(self):
+        import asyncio
+
+        pipeline = (SchemePipeline().workload("grid", 25).params(2)
+                    .seed(3))
+        compiled = pipeline.compile()
+
+        async def main():
+            broker = pipeline.serve_async(workers=1, max_wait_ms=0.5)
+            pool = broker.router
+            async with broker:
+                route = await broker.route(3, 12)
+            return route, pool
+
+        route, pool = asyncio.run(main())
+        assert route == compiled.route(3, 12)
+        assert pool.closed, "aclose() must close the owned pool"
+
+    def test_serve_async_rejects_unknown_kind(self):
+        pipeline = (SchemePipeline().workload("grid", 25).params(2)
+                    .seed(3))
+        with pytest.raises(ParameterError, match="serve kind"):
+            pipeline.serve_async(kind="nope")
