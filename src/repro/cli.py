@@ -52,6 +52,7 @@ from .analysis import (
 )
 from .congest import DEFAULT_ENGINE, available_engines
 from .core.compiled import CompiledScheme, load_artifact
+from .core.dense import DenseRoutingPlane
 from .pipeline import WORKLOADS, SchemePipeline
 from .serving import RouterPool, available_policies
 
@@ -107,12 +108,12 @@ def cmd_build(args: argparse.Namespace) -> int:
                                    seed=args.seed)
         print(f"\n{stretch}")
     if args.out:
-        compiled = pipeline.compile()
+        compiled = pipeline.compile(tier=args.tier)
         compiled.save(args.out)
         size = Path(args.out).stat().st_size
         from .core.compiled import FORMAT_VERSION
         print(f"\ncompiled artifact: {args.out} ({size} bytes, "
-              f"format v{FORMAT_VERSION}, "
+              f"format v{FORMAT_VERSION}, tier={args.tier}, "
               f"n={compiled.num_vertices}, k={compiled.k}); "
               f"serve it with `python -m repro query {args.out}`")
     return 0
@@ -151,7 +152,8 @@ def _read_pairs(args: argparse.Namespace, n: int,
 
 def _serve_pairs(artifact, pairs, args) -> Tuple[List, str]:
     """Answer the batch in-process or through a sharded pool."""
-    routing = isinstance(artifact, CompiledScheme)
+    routing = isinstance(artifact,
+                         (CompiledScheme, DenseRoutingPlane))
     if args.workers:
         with RouterPool(artifact, workers=args.workers,
                         policy=args.policy) as pool:
@@ -177,7 +179,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     if not pairs:
         print("no query pairs supplied")
         return 1
-    routing = isinstance(artifact, CompiledScheme)
+    routing = isinstance(artifact,
+                         (CompiledScheme, DenseRoutingPlane))
     results, mode = _serve_pairs(artifact, pairs, args)
     if args.out:
         # batch-file mode: machine-readable TSV, no per-query chatter
@@ -219,7 +222,7 @@ def _broker_from_artifacts(paths, args):
     router = estimator = None
     for path in paths:
         artifact = load_artifact(path)
-        if isinstance(artifact, CompiledScheme):
+        if isinstance(artifact, (CompiledScheme, DenseRoutingPlane)):
             if router is not None:
                 raise SystemExit(
                     f"error: two routing artifacts given ({path})")
@@ -276,7 +279,8 @@ def cmd_bench_traffic(args: argparse.Namespace) -> int:
                                  run_open_loop)
 
     artifact = load_artifact(args.artifact)
-    routing = isinstance(artifact, CompiledScheme)
+    routing = isinstance(artifact,
+                         (CompiledScheme, DenseRoutingPlane))
     op = "route" if routing else "estimate"
     n = artifact.num_vertices
     kw = dict(router=artifact) if routing else dict(estimator=artifact)
@@ -413,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the per-phase round ledger")
     p_build.add_argument("--evaluate", type=int, metavar="PAIRS",
                          help="also evaluate stretch on PAIRS pairs")
+    p_build.add_argument("--tier", choices=("flat", "dense"),
+                         default="flat",
+                         help="artifact tier for --out: 'flat' "
+                              "(CompiledScheme) or 'dense' (the "
+                              "gather-loop DenseRoutingPlane)")
     p_build.add_argument("--out", metavar="FILE",
                          help="compile and save the serve-side "
                               "artifact (conventionally .cra)")

@@ -48,6 +48,7 @@ from .compiled import (
     CompiledScheme,
     load_artifact,
 )
+from .dense import DenseRoutingPlane
 from .handshake import HandshakeRouteResult, HandshakeRouter
 from .scheme_builder import ConstructionReport, construct_scheme, sample_pairs
 
@@ -87,6 +88,7 @@ __all__ = [
     "CompiledEstimation",
     "CompiledRoute",
     "CompiledScheme",
+    "DenseRoutingPlane",
     "load_artifact",
     "HandshakeRouteResult",
     "HandshakeRouter",

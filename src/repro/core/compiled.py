@@ -55,7 +55,12 @@ from array import array
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
-from ..exceptions import ArtifactError, ParameterError, SchemeError
+from ..exceptions import (
+    ArtifactError,
+    HopBudgetError,
+    ParameterError,
+    SchemeError,
+)
 
 try:  # fast payload decode when numpy is present
     import numpy as _np
@@ -71,6 +76,7 @@ FORMAT_VERSION = 1
 
 _KIND_ROUTING = "routing"
 _KIND_ESTIMATION = "estimation"
+_KIND_DENSE = "dense-routing"
 
 _INT = "q"      # int64
 _FLOAT = "d"    # float64
@@ -169,6 +175,21 @@ def validate_pairs(pairs: Sequence, n: int, noun: str = "route") -> None:
     whether it is served in-process or sharded across workers, and it
     must never reach (let alone crash) a worker process.
     """
+    if _np is not None and len(pairs) >= 64:
+        # Vectorized happy path: if the batch converts to an integer
+        # (N, 2) array whose values are all in range, it is exactly the
+        # set of batches the scalar loop accepts.  Anything else —
+        # float/str/object dtype, ragged rows, out-of-range values —
+        # falls through to the scalar loop, which names the offending
+        # pair with the same message it always has.
+        try:
+            arr = _np.asarray(pairs)
+        except (TypeError, ValueError):
+            arr = None
+        if (arr is not None and arr.ndim == 2 and arr.shape[1] == 2
+                and arr.dtype.kind in "iu"
+                and (0 <= arr.min()) and (arr.max() < n)):
+            return
     index = operator.index
     for idx, pair in enumerate(pairs):
         try:
@@ -539,16 +560,23 @@ class CompiledScheme(_CompiledArtifact):
         return cls(meta, cols)
 
     # -- reporting -----------------------------------------------------
+    # All four return the empty-artifact identity (0 / 0.0) for n == 0
+    # rather than tripping over max()/ZeroDivisionError — degenerate
+    # artifacts are legal (they serve the empty batch).
     def max_table_words(self) -> int:
-        return max(self._table_words)
+        return max(self._table_words, default=0)
 
     def average_table_words(self) -> float:
+        if not len(self._table_words):
+            return 0.0
         return sum(self._table_words) / len(self._table_words)
 
     def max_label_words(self) -> int:
-        return max(self._label_words)
+        return max(self._label_words, default=0)
 
     def average_label_words(self) -> float:
+        if not len(self._label_words):
+            return 0.0
         return sum(self._label_words) / len(self._label_words)
 
     def __repr__(self) -> str:
@@ -576,6 +604,13 @@ class CompiledScheme(_CompiledArtifact):
         as one loop over locally-bound flat arrays (no per-hop method
         dispatch).  Results come back in input order and are identical
         to per-call :meth:`route`.
+
+        With the default ``max_hops=None`` the hop budget is ``4n + 4``,
+        which no correct artifact can exceed, so running out raises
+        :class:`SchemeError` (the artifact is corrupt).  A
+        *caller-supplied* ``max_hops`` that runs out before the target
+        raises :class:`~repro.exceptions.HopBudgetError` instead — the
+        route may be perfectly fine, the budget was just too small.
         """
         pairs = _as_batch(pairs)
         validate_pairs(pairs, self._n, "route")
@@ -590,7 +625,8 @@ class CompiledScheme(_CompiledArtifact):
         per-pair checks on the hot path."""
         n = self._n
         k = self._k
-        hop_budget = 4 * n + 4 if max_hops is None else max_hops
+        budgeted = max_hops is not None
+        hop_budget = max_hops if budgeted else 4 * n + 4
         slots = self._slots
         members = self._members
         tid_of = self._tid_of
@@ -690,6 +726,7 @@ class CompiledScheme(_CompiledArtifact):
                 cs = slots[source][tid]
                 weight = 0.0
                 lg = t_gentry[st]
+                stopped = False
                 for _hop in range(hop_budget):
                     if cs == st:
                         break
@@ -723,6 +760,9 @@ class CompiledScheme(_CompiledArtifact):
                             else:
                                 nxt = local_next(cs, t_hlab[cs])
                     if nxt is None:
+                        # the protocol itself stopped short — corrupt
+                        # artifact regardless of any hop budget
+                        stopped = True
                         break
                     sn = tree_slots[nxt][tid]
                     if t_parent[cs] == nxt:
@@ -733,6 +773,12 @@ class CompiledScheme(_CompiledArtifact):
                     current = nxt
                     cs = sn
                 if current != target:
+                    if budgeted and not stopped:
+                        raise HopBudgetError(
+                            f"route {source} -> {target} exhausted the "
+                            f"max_hops={max_hops} budget at {current} "
+                            f"after {len(path) - 1} hops; retry with a "
+                            "larger budget")
                     raise SchemeError(
                         f"routing {source} -> {target} stopped at "
                         f"{current}")
@@ -801,9 +847,11 @@ class CompiledEstimation(_CompiledArtifact):
 
     # -- reporting -----------------------------------------------------
     def max_sketch_words(self) -> int:
-        return max(self._sketch_words)
+        return max(self._sketch_words, default=0)
 
     def average_sketch_words(self) -> float:
+        if not len(self._sketch_words):
+            return 0.0
         return sum(self._sketch_words) / len(self._sketch_words)
 
     def __repr__(self) -> str:
@@ -855,20 +903,21 @@ class CompiledEstimation(_CompiledArtifact):
 
 
 # ----------------------------------------------------------------------
-def load_artifact(path: Union[str, Path]
-                  ) -> Union[CompiledScheme, CompiledEstimation]:
-    """Load either artifact kind, dispatching on the header."""
+def load_artifact(path: Union[str, Path]):
+    """Load any artifact kind, dispatching on the header."""
     kind, meta, arrays = _read_artifact(path)
     if kind == _KIND_ROUTING:
         return CompiledScheme(meta, arrays)
     if kind == _KIND_ESTIMATION:
         return CompiledEstimation(meta, arrays)
+    if kind == _KIND_DENSE:
+        from .dense import DenseRoutingPlane  # circular-import guard
+        return DenseRoutingPlane(meta, arrays)
     raise ArtifactError(f"{path}: unknown artifact kind {kind!r}")
 
 
-def attach_artifact(header: Dict, buffer, materialize: bool = False
-                    ) -> Union[CompiledScheme, CompiledEstimation]:
-    """Attach either artifact kind from :meth:`export_buffers` output,
+def attach_artifact(header: Dict, buffer, materialize: bool = False):
+    """Attach any artifact kind from :meth:`export_buffers` output,
     dispatching on the header — the in-memory sibling of
     :func:`load_artifact`."""
     kind = header.get("kind")
@@ -876,5 +925,8 @@ def attach_artifact(header: Dict, buffer, materialize: bool = False
         return CompiledScheme.attach(header, buffer, materialize)
     if kind == _KIND_ESTIMATION:
         return CompiledEstimation.attach(header, buffer, materialize)
+    if kind == _KIND_DENSE:
+        from .dense import DenseRoutingPlane  # circular-import guard
+        return DenseRoutingPlane.attach(header, buffer, materialize)
     raise ArtifactError(f"unknown artifact kind {kind!r} in attach "
                         "header")

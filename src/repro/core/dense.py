@@ -1,0 +1,922 @@
+"""Dense next-hop routing plane: the third artifact tier.
+
+:class:`CompiledScheme` already detaches serving from the graph, but it
+still *replays* the Section-6 forwarding protocol per pair in Python —
+per-hop dict probes into ``slots``/``members``, a vertex->slot
+conversion per hop, and linear scans over pooled label edges inside
+``local_next``.  :class:`DenseRoutingPlane` compiles that protocol one
+level further, into pure integer arrays, so a whole batch advances as
+one gather/select pass per hop:
+
+* **slots become the only coordinate system.**  Every reference the hop
+  loop resolves through a dict at serve time — tree parent, local-tree
+  parent, heavy child, heavy splitter, child splitter, label path
+  children — is pre-resolved to a *slot id* at compile time
+  (``dp_parent_slot``, ``dp_loc_parent_slot``, ...).  ``dp_vertex``
+  recovers the vertex for the emitted path; ``-1`` marks "absent"
+  exactly where the flat tier stores ``-1`` vertices.
+* **dicts become sorted composite-key arrays.**  ``slots[v][tid]``
+  becomes a binary search for ``tid * n + v`` in ``sx_key``;
+  ``members[s][t]`` becomes a search for ``s * n + t`` in ``m_key``;
+  the first-match scan over a label's path edges becomes a search for
+  ``dense_label * n + vertex`` in ``le_key`` (entries stable-sorted by
+  (key, original position), so ``searchsorted``-left lands on the same
+  entry the scalar first-match scan returns); the global-edge scan for
+  ``parent_splitter == splitter`` becomes a search for
+  ``ge_rank * n + splitter`` in ``g_key``.
+* **pooled labels become per-tree dense labels.**  The flat tier's
+  label pool is shared across trees, so resolving a label's child
+  *vertex* to a slot is tree-dependent.  The dense compiler allocates
+  one dense label id per (tree, pooled label) pair actually referenced
+  and bakes the child slots in (``dl_entry`` + the ``le_*`` CSR).
+* **find-tree (Algorithm 1) is a k-wide vectorized select** over
+  ``f_pivot``/``f_slot``/``f_tid`` rows plus the ``sx_key`` membership
+  index — no ``members`` dicts, no per-level Python loop.
+* **hop advancement is one gather per hop for the whole batch**: an
+  active-row vector is compressed as rows converge, the three protocol
+  branches become masks, and the weight accumulates per row in hop
+  order, which keeps float64 sums bit-identical to the scalar loop.
+
+The plane is a first-class artifact: same versioned ``RCRA`` container
+(``kind = "dense-routing"``), same ``export_buffers()``/``attach()``
+zero-copy transport the sharded pool uses, loadable through
+:func:`~repro.core.compiled.load_artifact`.  Build one with
+:meth:`DenseRoutingPlane.from_compiled` (pure Python, numpy-free) and
+serve with :meth:`route`/:meth:`route_many` — results are
+**bit-identical** (path, weight, tree_center, found_level) to
+:meth:`CompiledScheme.route_many`, enforced by
+``tests/core/test_dense_equivalence.py``.  Without numpy every lookup
+falls back to ``bisect`` over the same arrays, so the plane serves
+(slowly) anywhere the flat tier does.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import (
+    ArtifactError,
+    HopBudgetError,
+    ParameterError,
+    SchemeError,
+)
+from .compiled import (
+    _FLOAT,
+    _INT,
+    _KIND_DENSE,
+    CompiledRoute,
+    CompiledScheme,
+    _as_batch,
+    _CompiledArtifact,
+    validate_pairs,
+)
+
+try:  # vector serve path when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: Below this many pairs the vector path's fixed per-batch overhead
+#: (array construction, mask allocation) beats its per-pair savings;
+#: both paths are bit-identical, so the cutover is invisible.
+_SMALL_BATCH = 16
+
+#: Rows per vectorized pass.  ~24k rows x ~12 live arrays x 8 bytes is
+#: ~2.3 MiB — comfortably L2/L3-resident, which is where the gather
+#: loop wants to live.
+_CHUNK_ROWS = 24576
+
+
+def _vfind(sorted_keys, keys):
+    """Vectorized exact lookup: for each ``keys[i]`` return
+    ``(hit[i], pos[i])`` where ``sorted_keys[pos[i]] == keys[i]`` iff
+    ``hit[i]``.  Keys are stable-sorted, so ``searchsorted``-left finds
+    the *first* matching entry — the same one the scalar tier's linear
+    first-match scans return."""
+    if len(sorted_keys) == 0:
+        zeros = _np.zeros(keys.shape, dtype=_np.int64)
+        return zeros.astype(bool), zeros
+    pos = _np.minimum(_np.searchsorted(sorted_keys, keys),
+                      len(sorted_keys) - 1)
+    return sorted_keys[pos] == keys, pos
+
+
+class DenseRoutingPlane(_CompiledArtifact):
+    """Forwarding protocol compiled into dense integer arrays.
+
+    Construct with :meth:`from_compiled`, persist with ``save``,
+    restore with ``load``, ship across processes with
+    ``export_buffers``/``attach`` — all inherited from the shared
+    artifact machinery.  Serving is :meth:`route`/:meth:`route_many`,
+    bit-identical to the :class:`CompiledScheme` it was compiled from.
+    """
+
+    kind = _KIND_DENSE
+
+    #: (name, typecode) of every payload array, in serialization order.
+    #: ``dp_*`` are per-slot columns; ``g_*`` the rank-keyed global-edge
+    #: entries; ``dl_entry``/``le_*`` the per-tree dense label pool;
+    #: ``sx_*`` the (tree, vertex) -> slot index; ``f_*`` the n*k
+    #: find-tree rows; ``m_key``/``m_tslot``/``m_sslot`` the member
+    #: pairs.  Sentinels: ``-1`` = absent (matches the flat tier).
+    _FIELDS = (
+        ("dp_vertex", _INT),
+        ("dp_gentry", _INT), ("dp_gexit", _INT),
+        ("dp_parent_slot", _INT), ("dp_parent_w", _FLOAT),
+        ("dp_splitter", _INT),
+        ("dp_loc_entry", _INT), ("dp_loc_exit", _INT),
+        ("dp_loc_parent_slot", _INT), ("dp_loc_heavy_slot", _INT),
+        ("dp_local_lab", _INT),
+        ("dp_hsplit_slot", _INT), ("dp_hportal", _INT),
+        ("dp_hlab", _INT),
+        ("dp_ge_rank", _INT),
+        ("g_key", _INT), ("g_portal", _INT),
+        ("g_csplit_slot", _INT), ("g_plab", _INT),
+        ("dl_entry", _INT),
+        ("le_key", _INT), ("le_child_slot", _INT),
+        ("sx_key", _INT), ("sx_slot", _INT),
+        ("f_pivot", _INT), ("f_slot", _INT), ("f_tid", _INT),
+        ("m_key", _INT), ("m_tslot", _INT), ("m_sslot", _INT),
+    )
+
+    def _post_init(self) -> None:
+        if len(self._f_pivot) != self._n * self._k:
+            raise ArtifactError(
+                f"dense plane holds {len(self._f_pivot)} find-tree "
+                f"rows; n*k = {self._n * self._k}")
+        self._npv: Optional[Dict] = None
+        self._le_direct = None
+        self._m_direct = None
+        self._sx_direct = None
+        if _np is not None:
+            # One int64/float64 mirror per column.  Arrays straight off
+            # a zero-copy attach are already such views, so asarray is
+            # free there; materialized lists copy once at load.
+            npv = {}
+            for name, typecode in self._FIELDS:
+                dtype = _np.int64 if typecode == _INT else _np.float64
+                npv[name] = _np.asarray(getattr(self, "_" + name),
+                                        dtype=dtype)
+            self._npv = npv
+            # Direct-address mirror of the label path edges: turns the
+            # hot per-hop searchsorted into a single gather.  Size is
+            # labels * n; skipped (falling back to searchsorted) when
+            # that outgrows a sane in-memory budget.  Reversed
+            # assignment keeps the FIRST entry of a duplicate key, the
+            # one the scalar first-match scan returns.
+            total = len(self._dl_entry) * self._n
+            if 0 < total <= (1 << 24):
+                direct = _np.full(total, -1, dtype=_np.int32)
+                direct[npv["le_key"][::-1]] = \
+                    npv["le_child_slot"][::-1].astype(_np.int32)
+                self._le_direct = direct
+            # Same trick for the two find-tree lookups, which run once
+            # per route: the member-pair index (key s*n + t) and the
+            # (tree, vertex) -> slot index (key tid*n + v).  Each table
+            # stores the *row position*, so one gather replaces the
+            # searchsorted and the row's other columns come from the
+            # usual positional gathers.
+            if len(npv["m_key"]) and self._n * self._n <= (1 << 24):
+                direct = _np.full(self._n * self._n, -1,
+                                  dtype=_np.int32)
+                direct[npv["m_key"][::-1]] = _np.arange(
+                    len(npv["m_key"]) - 1, -1, -1, dtype=_np.int32)
+                self._m_direct = direct
+            if len(npv["sx_key"]):
+                # size covers every tid that appears: any tid*n + v
+                # with v < n stays in bounds.
+                total = (int(npv["sx_key"][-1]) // self._n + 1) * self._n
+                if total <= (1 << 24):
+                    direct = _np.full(total, -1, dtype=_np.int32)
+                    direct[npv["sx_key"]] = _np.arange(
+                        len(npv["sx_key"]), dtype=_np.int32)
+                    self._sx_direct = direct
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_compiled(cls, compiled: CompiledScheme
+                      ) -> "DenseRoutingPlane":
+        """Compile a :class:`CompiledScheme` into the dense plane.
+
+        Pure Python and numpy-free on purpose: the compile is offline
+        (pay once, serve forever) and must run on the stdlib-only CI
+        job.  Every dict the flat tier rebuilds per process is resolved
+        *here*, once, into sorted composite-key arrays.
+        """
+        if not isinstance(compiled, CompiledScheme):
+            raise ParameterError(
+                "DenseRoutingPlane.from_compiled wants a "
+                f"CompiledScheme, got {type(compiled).__name__}")
+        n = compiled.num_vertices
+        slots = compiled._slots          # vertex -> {tid: slot}
+        tid_of = compiled._tid_of        # tree center -> tid
+        slot_vertex = compiled._slot_vertex
+        slot_tree = compiled._slot_tree
+        num_slots = len(slot_vertex)
+
+        def vslot(vertex: int, tid: int, what: str) -> int:
+            try:
+                return slots[vertex][tid]
+            except (IndexError, KeyError):
+                raise SchemeError(
+                    f"dense compile: {what} names vertex {vertex}, "
+                    f"which has no slot in tree {tid}") from None
+
+        cols: Dict[str, list] = {}
+        cols["dp_vertex"] = [int(v) for v in slot_vertex]
+        cols["dp_gentry"] = [int(x) for x in compiled._t_gentry]
+        cols["dp_gexit"] = [int(x) for x in compiled._t_gexit]
+        cols["dp_splitter"] = [int(x) for x in compiled._t_splitter]
+        cols["dp_loc_entry"] = [int(x) for x in compiled._t_loc_entry]
+        cols["dp_loc_exit"] = [int(x) for x in compiled._t_loc_exit]
+        cols["dp_hportal"] = [int(x) for x in compiled._t_hportal]
+        cols["dp_parent_w"] = [float(w) for w in compiled._t_parent_w]
+
+        def slot_col(vertices, what: str) -> List[int]:
+            out = []
+            for s in range(num_slots):
+                v = int(vertices[s])
+                out.append(-1 if v < 0
+                           else vslot(v, int(slot_tree[s]), what))
+            return out
+
+        cols["dp_parent_slot"] = slot_col(compiled._t_parent,
+                                          "tree parent")
+        cols["dp_loc_parent_slot"] = slot_col(compiled._t_loc_parent,
+                                              "local parent")
+        cols["dp_loc_heavy_slot"] = slot_col(compiled._t_loc_heavy,
+                                             "heavy child")
+        cols["dp_hsplit_slot"] = slot_col(compiled._t_hsplit,
+                                          "heavy splitter")
+
+        # Dense labels: one per (tree, pooled label) pair referenced,
+        # with the label's path-edge children resolved to slots of that
+        # tree.  Edge keys are stable-sorted so searchsorted-left picks
+        # the entry the scalar first-match scan would.
+        lp_entry = compiled._lp_entry
+        lp_start = compiled._lp_start
+        lp_w = compiled._lp_w
+        lp_child = compiled._lp_child
+        dlab_of: Dict[Tuple[int, int], int] = {}
+        dl_entry: List[int] = []
+        le_rows: List[Tuple[int, int, int]] = []  # (key, order, child)
+
+        def dense_label(tid: int, li) -> int:
+            key = (int(tid), int(li))
+            dli = dlab_of.get(key)
+            if dli is None:
+                dli = len(dl_entry)
+                dlab_of[key] = dli
+                dl_entry.append(int(lp_entry[key[1]]))
+                for j in range(int(lp_start[key[1]]),
+                               int(lp_start[key[1] + 1])):
+                    le_rows.append(
+                        (dli * n + int(lp_w[j]), len(le_rows),
+                         vslot(int(lp_child[j]), key[0],
+                               "label path edge")))
+            return dli
+
+        cols["dp_local_lab"] = [
+            dense_label(int(slot_tree[s]), compiled._l_local[s])
+            for s in range(num_slots)]
+        cols["dp_hlab"] = [
+            -1 if int(compiled._t_hlab[s]) < 0
+            else dense_label(int(slot_tree[s]), compiled._t_hlab[s])
+            for s in range(num_slots)]
+
+        # Global-edge groups: the flat tier keys them by (tree,
+        # start, end) range; each distinct range gets a rank, and the
+        # scan for parent_splitter == splitter becomes a lookup of
+        # rank * n + splitter.
+        rank_of: Dict[Tuple[int, int, int], int] = {}
+        groups: List[Tuple[int, int, int]] = []
+        dp_ge_rank: List[int] = []
+        for s in range(num_slots):
+            gkey = (int(slot_tree[s]), int(compiled._l_ge_start[s]),
+                    int(compiled._l_ge_end[s]))
+            rank = rank_of.get(gkey)
+            if rank is None:
+                rank = len(groups)
+                rank_of[gkey] = rank
+                groups.append(gkey)
+            dp_ge_rank.append(rank)
+        cols["dp_ge_rank"] = dp_ge_rank
+        g_rows: List[Tuple[int, int, int]] = []  # (key, entry j, tid)
+        for rank, (tid, start, end) in enumerate(groups):
+            for j in range(start, end):
+                g_rows.append(
+                    (rank * n + int(compiled._ge_psplit[j]), j, tid))
+        g_rows.sort(key=lambda row: (row[0], row[1]))
+        cols["g_key"] = [row[0] for row in g_rows]
+        cols["g_portal"] = [int(compiled._ge_portal[j])
+                            for _key, j, _tid in g_rows]
+        cols["g_csplit_slot"] = [
+            vslot(int(compiled._ge_csplit[j]), tid, "child splitter")
+            for _key, j, tid in g_rows]
+        cols["g_plab"] = [dense_label(tid, compiled._ge_plab[j])
+                          for _key, j, tid in g_rows]
+
+        cols["dl_entry"] = dl_entry
+        le_rows.sort(key=lambda row: (row[0], row[1]))
+        cols["le_key"] = [row[0] for row in le_rows]
+        cols["le_child_slot"] = [row[2] for row in le_rows]
+
+        # (tree, vertex) -> slot membership index.
+        order = sorted(
+            range(num_slots),
+            key=lambda s: int(slot_tree[s]) * n + int(slot_vertex[s]))
+        cols["sx_key"] = [
+            int(slot_tree[s]) * n + int(slot_vertex[s]) for s in order]
+        cols["sx_slot"] = order
+
+        # Find-tree rows (n * k), annotated with the pivot's tree id.
+        f_pivot = [int(x) for x in compiled._lbl_pivot]
+        f_slot = [int(x) for x in compiled._lbl_slot]
+        f_tid: List[int] = []
+        for pivot, sl in zip(f_pivot, f_slot):
+            if pivot < 0 or sl < 0:
+                f_tid.append(-1)
+                continue
+            tid = tid_of.get(pivot)
+            if tid is None:
+                raise SchemeError(
+                    f"dense compile: find-tree pivot {pivot} is not a "
+                    "tree center")
+            f_tid.append(int(tid))
+        cols["f_pivot"], cols["f_slot"], cols["f_tid"] = \
+            f_pivot, f_slot, f_tid
+
+        # Member-label pairs: source * n + target -> (target slot,
+        # source slot) in the source's own tree.
+        m_rows: List[Tuple[int, int, int]] = []
+        for owner, member in zip(compiled._ml_owner,
+                                 compiled._ml_member):
+            owner, member = int(owner), int(member)
+            tid = tid_of.get(owner)
+            if tid is None:
+                raise SchemeError(
+                    f"dense compile: member-label owner {owner} is "
+                    "not a tree center")
+            m_rows.append((owner * n + member,
+                           vslot(member, tid, "member label"),
+                           vslot(owner, tid, "member-label owner")))
+        m_rows.sort()
+        cols["m_key"] = [row[0] for row in m_rows]
+        cols["m_tslot"] = [row[1] for row in m_rows]
+        cols["m_sslot"] = [row[2] for row in m_rows]
+
+        meta = dict(compiled.meta)
+        meta["n"] = n
+        meta["k"] = compiled.k
+        meta["num_dense_labels"] = len(dl_entry)
+        return cls(meta, cols)
+
+    def __repr__(self) -> str:
+        return (f"DenseRoutingPlane(n={self._n}, k={self._k}, "
+                f"slots={len(self._dp_vertex)}, "
+                f"labels={len(self._dl_entry)})")
+
+    # -- serving -------------------------------------------------------
+    def route(self, source: int, target: int,
+              max_hops: Optional[int] = None) -> CompiledRoute:
+        """Serve one packet; delegates to :meth:`route_many`."""
+        return self.route_many([(source, target)],
+                               max_hops=max_hops)[0]
+
+    def route_many(self, pairs: Sequence[Tuple[int, int]],
+                   max_hops: Optional[int] = None
+                   ) -> List[CompiledRoute]:
+        """Serve a batch of ``(source, target)`` queries.
+
+        Same contract as :meth:`CompiledScheme.route_many` — results in
+        input order, bit-identical to the flat tier; exhausting a
+        caller-supplied ``max_hops`` raises
+        :class:`~repro.exceptions.HopBudgetError`, while the default
+        budget (``4n + 4``) running out means a corrupt artifact and
+        raises :class:`SchemeError`.
+        """
+        pairs = _as_batch(pairs)
+        validate_pairs(pairs, self._n, "route")
+        return self._route_many_validated(pairs, max_hops)
+
+    def _route_many_validated(self, pairs: Sequence[Tuple[int, int]],
+                              max_hops: Optional[int] = None
+                              ) -> List[CompiledRoute]:
+        """:meth:`route_many` body, minus the input prepass (the
+        serving pool dispatches workers straight here)."""
+        if not len(pairs):
+            return []
+        if (_np is not None and self._npv is not None
+                and len(pairs) >= _SMALL_BATCH):
+            # Canonicalize the batch first: serving traffic is heavily
+            # skewed in practice, and identical (s, t) queries route
+            # identically — solve each distinct pair once and fan the
+            # (immutable) result objects back out.  Only engaged when
+            # it actually shrinks the batch, so duplicate-free grids
+            # pay one np.unique and nothing else.
+            arr = _np.asarray(pairs,
+                              dtype=_np.int64).reshape(len(pairs), 2)
+            key = arr[:, 0] * self._n + arr[:, 1]
+            uniq, inv = _np.unique(key, return_inverse=True)
+            if uniq.size <= (len(pairs) * 7) // 8:
+                upairs = _np.stack(
+                    [uniq // self._n, uniq % self._n], axis=1)
+                routes = self._route_chunks(upairs, max_hops)
+                return [routes[i] for i in inv.tolist()]
+            return self._route_chunks(arr, max_hops)
+        return self._route_many_scalar(pairs, max_hops)
+
+    def _route_chunks(self, arr, max_hops):
+        """Vector-route an (N, 2) int64 array, split so the per-hop
+        working set (a dozen int64/float64 arrays of batch length)
+        stays cache-resident; one huge pass streams every gather from
+        DRAM and the per-element cost roughly doubles."""
+        if len(arr) <= _CHUNK_ROWS:
+            return self._route_many_vectorized(arr, max_hops)
+        out: List[CompiledRoute] = []
+        for i in range(0, len(arr), _CHUNK_ROWS):
+            out.extend(self._route_many_vectorized(
+                arr[i:i + _CHUNK_ROWS], max_hops))
+        return out
+
+    # -- scalar fallback (also the no-numpy serve path) ----------------
+    def _route_many_scalar(self, pairs, max_hops):
+        n = self._n
+        k = self._k
+        budgeted = max_hops is not None
+        hop_budget = max_hops if budgeted else 4 * n + 4
+        dp_vertex = self._dp_vertex
+        dp_gentry = self._dp_gentry
+        dp_gexit = self._dp_gexit
+        dp_parent_slot = self._dp_parent_slot
+        dp_parent_w = self._dp_parent_w
+        dp_splitter = self._dp_splitter
+        dp_loc_entry = self._dp_loc_entry
+        dp_loc_exit = self._dp_loc_exit
+        dp_loc_parent_slot = self._dp_loc_parent_slot
+        dp_loc_heavy_slot = self._dp_loc_heavy_slot
+        dp_local_lab = self._dp_local_lab
+        dp_hsplit_slot = self._dp_hsplit_slot
+        dp_hportal = self._dp_hportal
+        dp_hlab = self._dp_hlab
+        dp_ge_rank = self._dp_ge_rank
+        g_key = self._g_key
+        g_portal = self._g_portal
+        g_csplit_slot = self._g_csplit_slot
+        g_plab = self._g_plab
+        dl_entry = self._dl_entry
+        le_key = self._le_key
+        le_child_slot = self._le_child_slot
+        sx_key = self._sx_key
+        sx_slot = self._sx_slot
+        f_pivot = self._f_pivot
+        f_slot = self._f_slot
+        f_tid = self._f_tid
+        m_key = self._m_key
+        m_tslot = self._m_tslot
+        m_sslot = self._m_sslot
+        n_sx = len(sx_key)
+        n_m = len(m_key)
+        n_g = len(g_key)
+        n_le = len(le_key)
+
+        results: List[CompiledRoute] = []
+        for source, target in pairs:
+            s, t = int(source), int(target)
+            if s == t:
+                results.append(CompiledRoute(
+                    source=s, target=t, path=[s], weight=0.0,
+                    tree_center=None, found_level=-1))
+                continue
+            # --- Algorithm 1 (find-tree) ------------------------------
+            mk = s * n + t
+            i = bisect_left(m_key, mk, 0, n_m)
+            if i < n_m and m_key[i] == mk:
+                st = int(m_tslot[i])
+                cs = int(m_sslot[i])
+                center = s
+                level = -1
+            else:
+                base = t * k
+                for level in range(k):
+                    pivot = int(f_pivot[base + level])
+                    sl = int(f_slot[base + level])
+                    if pivot < 0 or sl < 0:
+                        continue
+                    sk = int(f_tid[base + level]) * n + s
+                    i = bisect_left(sx_key, sk, 0, n_sx)
+                    in_tree = i < n_sx and sx_key[i] == sk
+                    if in_tree or pivot == s:
+                        if not in_tree:
+                            raise SchemeError(
+                                f"find-tree: source {s} has no slot "
+                                "in its own tree")
+                        st = sl
+                        cs = int(sx_slot[i])
+                        center = pivot
+                        break
+                else:
+                    raise SchemeError(
+                        f"find-tree failed for {s} -> {t}; "
+                        "A_{k-1} cluster should contain every vertex")
+            # --- in-tree forwarding (Section 6), slot-dense -----------
+            lg = int(dp_gentry[st])
+            lab_st = int(dp_local_lab[st])
+            geb = int(dp_ge_rank[st]) * n
+            path = [s]
+            current = s
+            weight = 0.0
+            stopped = False
+            for _hop in range(hop_budget):
+                if cs == st:
+                    break
+                e = int(dp_gentry[cs])
+                nxt = -2
+                lab = -1
+                if lg == e:
+                    lab = lab_st
+                elif lg < e or lg > int(dp_gexit[cs]):
+                    nxt = int(dp_parent_slot[cs])
+                    if nxt < 0:
+                        raise SchemeError(
+                            f"label {t} escapes tree at root "
+                            f"{current}")
+                else:
+                    gk = geb + int(dp_splitter[cs])
+                    i = bisect_left(g_key, gk, 0, n_g)
+                    if i < n_g and g_key[i] == gk:
+                        if current == int(g_portal[i]):
+                            nxt = int(g_csplit_slot[i])
+                        else:
+                            lab = int(g_plab[i])
+                    else:
+                        hs = int(dp_hsplit_slot[cs])
+                        if hs < 0:
+                            raise SchemeError(
+                                f"vertex {current} lacks "
+                                "heavy-splitter info for label "
+                                f"{t}")
+                        if current == int(dp_hportal[cs]):
+                            nxt = hs
+                        else:
+                            lab = int(dp_hlab[cs])
+                if lab >= 0:
+                    # local_next over the dense label, slot-resolved
+                    a = int(dl_entry[lab])
+                    le = int(dp_loc_entry[cs])
+                    if le == a:
+                        stopped = True
+                        break
+                    if a < le or a > int(dp_loc_exit[cs]):
+                        nxt = int(dp_loc_parent_slot[cs])
+                        if nxt < 0:
+                            raise SchemeError(
+                                "label escapes the local tree at "
+                                f"its root (slot {cs})")
+                    else:
+                        lk = lab * n + current
+                        i = bisect_left(le_key, lk, 0, n_le)
+                        if i < n_le and le_key[i] == lk:
+                            nxt = int(le_child_slot[i])
+                        else:
+                            nxt = int(dp_loc_heavy_slot[cs])
+                            if nxt < 0:
+                                raise SchemeError(
+                                    "routing stuck at local leaf "
+                                    f"{current} (slot {cs})")
+                if nxt < 0:
+                    raise SchemeError(
+                        f"routing {s} -> {t}: unresolvable next hop "
+                        f"at {current} (slot {cs})")
+                if int(dp_parent_slot[cs]) == nxt:
+                    weight += float(dp_parent_w[cs])
+                else:
+                    weight += float(dp_parent_w[nxt])
+                current = int(dp_vertex[nxt])
+                path.append(current)
+                cs = nxt
+            if cs != st:
+                if budgeted and not stopped:
+                    raise HopBudgetError(
+                        f"route {s} -> {t} exhausted the max_hops="
+                        f"{max_hops} budget at {current} after "
+                        f"{len(path) - 1} hops; retry with a larger "
+                        "budget")
+                raise SchemeError(
+                    f"routing {s} -> {t} stopped at {current}")
+            results.append(CompiledRoute(
+                source=s, target=t, path=path, weight=weight,
+                tree_center=center, found_level=level))
+        return results
+
+    # -- vectorized serve path -----------------------------------------
+    def _route_many_vectorized(self, pairs, max_hops):
+        np = _np
+        col = self._npv
+        n = self._n
+        k = self._k
+        budgeted = max_hops is not None
+        hop_budget = max_hops if budgeted else 4 * n + 4
+
+        batch = np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
+        src = batch[:, 0]
+        dst = batch[:, 1]
+        results: List[Optional[CompiledRoute]] = [None] * len(pairs)
+        self_rows = src == dst
+        if self_rows.any():
+            for i in np.nonzero(self_rows)[0].tolist():
+                v = int(src[i])
+                results[i] = CompiledRoute(v, v, [v], 0.0, None, -1)
+            work = np.nonzero(~self_rows)[0]
+            s = src[work]
+            t = dst[work]
+        else:
+            work = None
+            s = src
+            t = dst
+        num_rows = len(s)
+
+        # --- Algorithm 1 (find-tree): member lookup, then a k-wide
+        # select over the label rows, compressed to unresolved rows ----
+        if self._m_direct is not None:
+            pos = self._m_direct[s * n + t].astype(np.int64)
+            hit = pos >= 0
+            st = np.where(hit, col["m_tslot"][pos], -1)
+            cs = np.where(hit, col["m_sslot"][pos], -1)
+        elif len(col["m_key"]):
+            hit, pos = _vfind(col["m_key"], s * n + t)
+            st = np.where(hit, col["m_tslot"][pos], -1)
+            cs = np.where(hit, col["m_sslot"][pos], -1)
+        else:
+            hit = np.zeros(num_rows, dtype=bool)
+            st = np.full(num_rows, -1, dtype=np.int64)
+            cs = st.copy()
+        center = np.where(hit, s, -1)
+        level = np.full(num_rows, -1, dtype=np.int64)
+        open_idx = np.nonzero(~hit)[0]
+        for lvl in range(k):
+            if open_idx.size == 0:
+                break
+            s_open = s[open_idx]
+            row = t[open_idx] * k + lvl
+            pivot = col["f_pivot"][row]
+            sl = col["f_slot"][row]
+            sx_keys = col["f_tid"][row] * n + s_open
+            if self._sx_direct is not None:
+                # f_tid = -1 rows key negatively and wrap; their junk
+                # lookups are masked by the pivot >= 0 condition below.
+                spos = self._sx_direct[sx_keys].astype(np.int64)
+                in_tree = spos >= 0
+            else:
+                in_tree, spos = _vfind(col["sx_key"], sx_keys)
+            cond = ((pivot >= 0) & (sl >= 0)
+                    & (in_tree | (pivot == s_open)))
+            if not cond.any():
+                continue
+            bad = cond & ~in_tree
+            if bad.any():
+                raise SchemeError(
+                    f"find-tree: source {int(s_open[bad][0])} has no "
+                    "slot in its own tree")
+            found = open_idx[cond]
+            st[found] = sl[cond]
+            cs[found] = col["sx_slot"][spos[cond]]
+            center[found] = pivot[cond]
+            level[found] = lvl
+            open_idx = open_idx[~cond]
+        if open_idx.size:
+            i = int(open_idx[0])
+            raise SchemeError(
+                f"find-tree failed for {int(s[i])} -> {int(t[i])}; "
+                "A_{k-1} cluster should contain every vertex")
+
+        # --- batched Section-6 forwarding: one gather pass per hop.
+        # Converged rows are retired lazily (compression costs several
+        # boolean-index passes, so it only runs once a quarter of the
+        # live set is done; till then done rows sit inert with
+        # ``nxt = cs``).  Paths are NOT appended per hop — that would
+        # be O(total hops) of Python work, the very loop this tier
+        # removes; each hop parks its (rows, vertices) arrays and the
+        # paths materialize once at the end via a stable argsort ------
+        weight = np.zeros(num_rows, dtype=np.float64)
+        # Hop 0 is the source itself: seeding it here means the final
+        # scatter below emits complete paths and the per-route
+        # ``[source] + hops`` list concat disappears.
+        hop_rows: List = [np.arange(num_rows)]
+        hop_verts: List = [s]
+        live = np.arange(num_rows)
+        cs_l = cs
+        st_l = st
+        lg_l = col["dp_gentry"][st]
+        lab0_l = col["dp_local_lab"][st]
+        geb_l = col["dp_ge_rank"][st] * n
+        cur_l = col["dp_vertex"][cs]
+        # parent_w keyed by the *current* slot is carried across hops
+        # (this hop's parent_w[nxt] is next hop's parent_w[cs]), saving
+        # a float gather per hop.
+        w_cs_l = col["dp_parent_w"][cs]
+        le_direct = self._le_direct
+        for _hop in range(hop_budget):
+            done = cs_l == st_l
+            num_done = int(np.count_nonzero(done))
+            if num_done == live.size:
+                break
+            if num_done > (live.size >> 2):
+                keep = ~done
+                live = live[keep]
+                cs_l = cs_l[keep]
+                st_l = st_l[keep]
+                lg_l = lg_l[keep]
+                lab0_l = lab0_l[keep]
+                geb_l = geb_l[keep]
+                cur_l = cur_l[keep]
+                w_cs_l = w_cs_l[keep]
+                done = np.zeros(live.size, dtype=bool)
+                num_done = 0
+            e = col["dp_gentry"][cs_l]
+            mask_a = lg_l == e                     # shared entry: local
+            mask_b = ~mask_a & ((lg_l < e)         # out of interval:
+                                | (lg_l > col["dp_gexit"][cs_l]))  # up
+            if num_done:
+                active = ~done
+                mask_a &= active
+                mask_b &= active
+                mask_c = active & ~mask_a & ~mask_b
+                nxt = np.where(done, cs_l, -2)     # done rows are inert
+            else:
+                mask_c = ~mask_a & ~mask_b         # global edge zone
+                nxt = np.full(live.size, -2, dtype=np.int64)
+            # ``lab`` defaults to 0 (a valid dense-label index) with the
+            # real "has a label" condition tracked in ``need`` — this
+            # keeps every downstream gather free of a masking where().
+            need = mask_a.copy()
+            lab = np.where(mask_a, lab0_l, 0)
+            # parent is needed unconditionally for the weight select
+            # below, so gather it once up front.
+            parent = col["dp_parent_slot"][cs_l]
+            if mask_b.any():
+                bad = mask_b & (parent < 0)
+                if bad.any():
+                    i = int(np.nonzero(bad)[0][0])
+                    raise SchemeError(
+                        f"label {int(t[live[i]])} escapes tree at "
+                        f"root {int(cur_l[i])}")
+                nxt = np.where(mask_b, parent, nxt)
+            if mask_c.any():
+                # rare branch: compress its rows so the global-edge
+                # searchsorted never runs over the whole batch
+                cidx = np.nonzero(mask_c)[0]
+                cs_c = cs_l[cidx]
+                cur_c = cur_l[cidx]
+                ghit, gpos = _vfind(
+                    col["g_key"],
+                    geb_l[cidx] + col["dp_splitter"][cs_c])
+                nxt_c = np.full(cidx.size, -2, dtype=np.int64)
+                lab_c = np.full(cidx.size, -1, dtype=np.int64)
+                if ghit.any():
+                    at_portal = ghit & (cur_c == col["g_portal"][gpos])
+                    nxt_c = np.where(at_portal,
+                                     col["g_csplit_slot"][gpos], nxt_c)
+                    lab_c = np.where(ghit & ~at_portal,
+                                     col["g_plab"][gpos], lab_c)
+                miss = ~ghit
+                if miss.any():
+                    heavy = col["dp_hsplit_slot"][cs_c]
+                    bad = miss & (heavy < 0)
+                    if bad.any():
+                        i = int(np.nonzero(bad)[0][0])
+                        raise SchemeError(
+                            f"vertex {int(cur_c[i])} lacks "
+                            "heavy-splitter info for label "
+                            f"{int(t[live[cidx[i]]])}")
+                    at_portal = miss & (cur_c == col["dp_hportal"][cs_c])
+                    nxt_c = np.where(at_portal, heavy, nxt_c)
+                    lab_c = np.where(miss & ~at_portal,
+                                     col["dp_hlab"][cs_c], lab_c)
+                nxt[cidx] = nxt_c
+                lab[cidx] = lab_c
+                need[cidx] = lab_c >= 0
+            if need.any():
+                # local_next over dense labels, three-way select.
+                # ``lab`` may hold -1 on (rare) rows that took a portal
+                # edge above; those wrap harmlessly — every read below
+                # is masked by ``need``/``inside``.
+                entry = col["dl_entry"][lab]
+                loc_e = col["dp_loc_entry"][cs_l]
+                stop = need & (loc_e == entry)
+                if stop.any():
+                    # the protocol stopped short of the target —
+                    # corrupt artifact regardless of any hop budget
+                    i = int(np.nonzero(stop)[0][0])
+                    raise SchemeError(
+                        f"routing {int(s[live[i]])} -> "
+                        f"{int(t[live[i]])} stopped at "
+                        f"{int(cur_l[i])}")
+                out = need & ((entry < loc_e)
+                              | (entry > col["dp_loc_exit"][cs_l]))
+                if out.any():
+                    loc_p = col["dp_loc_parent_slot"][cs_l]
+                    bad = out & (loc_p < 0)
+                    if bad.any():
+                        i = int(np.nonzero(bad)[0][0])
+                        raise SchemeError(
+                            "label escapes the local tree at its "
+                            f"root (slot {int(cs_l[i])})")
+                    nxt = np.where(out, loc_p, nxt)
+                inside = need & ~out
+                if inside.any():
+                    if le_direct is not None:
+                        # lab >= -1, so the key is >= -n and wraps
+                        # inside the table (size >= n); junk rows are
+                        # masked by ``inside``.
+                        cand = le_direct[lab * n + cur_l]
+                        lhit = inside & (cand >= 0)
+                    else:
+                        lhit, lpos = _vfind(col["le_key"],
+                                            lab * n + cur_l)
+                        lhit &= inside
+                        cand = None
+                    if lhit.any():
+                        nxt = np.where(
+                            lhit,
+                            cand if cand is not None
+                            else col["le_child_slot"][lpos],
+                            nxt)
+                    miss = inside & ~lhit
+                    if miss.any():
+                        heavy = col["dp_loc_heavy_slot"][cs_l]
+                        bad = miss & (heavy < 0)
+                        if bad.any():
+                            i = int(np.nonzero(bad)[0][0])
+                            raise SchemeError(
+                                "routing stuck at local leaf "
+                                f"{int(cur_l[i])} (slot "
+                                f"{int(cs_l[i])})")
+                        nxt = np.where(miss, heavy, nxt)
+            bad = nxt < 0
+            if bad.any():
+                i = int(np.nonzero(bad)[0][0])
+                raise SchemeError(
+                    f"routing {int(s[live[i]])} -> {int(t[live[i]])}: "
+                    f"unresolvable next hop at {int(cur_l[i])} "
+                    f"(slot {int(cs_l[i])})")
+            w_nxt = col["dp_parent_w"][nxt]
+            step_w = np.where(parent == nxt, w_cs_l, w_nxt)
+            next_vertex = col["dp_vertex"][nxt]
+            if num_done:
+                step_w = np.where(done, 0.0, step_w)
+                hop_rows.append(live[active])
+                hop_verts.append(next_vertex[active])
+            else:
+                hop_rows.append(live)
+                hop_verts.append(next_vertex)
+            weight[live] += step_w
+            cur_l = next_vertex
+            cs_l = nxt
+            w_cs_l = w_nxt
+        undone = cs_l != st_l
+        if undone.any():
+            i = int(np.nonzero(undone)[0][0])
+            row = int(live[i])
+            hops = sum(int((rows == row).sum())
+                       for rows in hop_rows[1:])
+            if budgeted:
+                raise HopBudgetError(
+                    f"route {int(s[row])} -> {int(t[row])} exhausted "
+                    f"the max_hops={max_hops} budget at "
+                    f"{int(cur_l[i])} after {hops} hops; retry with "
+                    "a larger budget")
+            raise SchemeError(
+                f"routing {int(s[row])} -> {int(t[row])} stopped at "
+                f"{int(cur_l[i])}")
+
+        # Materialize per-row paths from the per-hop arrays with a
+        # counting scatter: row r's vertices land at
+        # offsets[r]..offsets[r+1] in hop order (each hop's rows are
+        # strictly increasing, and hops are visited in order).
+        all_rows = np.concatenate(hop_rows)
+        offsets = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(all_rows, minlength=num_rows),
+                  out=offsets[1:])
+        flat = np.empty(all_rows.size, dtype=np.int64)
+        fill = offsets[:-1].copy()
+        for rows, hverts in zip(hop_rows, hop_verts):
+            at = fill[rows]
+            flat[at] = hverts
+            fill[rows] = at + 1
+        verts = flat.tolist()
+        offsets = offsets.tolist()
+
+        s_list = s.tolist()
+        t_list = t.tolist()
+        center_list = center.tolist()
+        level_list = level.tolist()
+        weight_list = weight.tolist()
+        out_idx = range(num_rows) if work is None else work.tolist()
+        for row, idx in enumerate(out_idx):
+            results[idx] = CompiledRoute(
+                s_list[row], t_list[row],
+                verts[offsets[row]:offsets[row + 1]],
+                weight_list[row], center_list[row], level_list[row])
+        return results  # type: ignore[return-value]

@@ -45,6 +45,17 @@ class RoutingLoopError(SchemeError):
     (exceeds the hop budget for a single packet)."""
 
 
+class HopBudgetError(SchemeError):
+    """Raised when a *caller-supplied* ``max_hops`` budget runs out
+    before the packet reaches its target.
+
+    Distinct from the plain :class:`SchemeError` the serve paths raise
+    when the default budget (``4n + 4``, which no correct artifact can
+    exceed) runs out: that one means the artifact is broken, this one
+    means the caller's budget was simply too small — retry with a
+    larger ``max_hops``."""
+
+
 class ArtifactError(SchemeError):
     """Raised when a compiled-scheme artifact is malformed: bad magic,
     unsupported format version, truncated payload, or the wrong kind

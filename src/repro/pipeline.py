@@ -175,6 +175,7 @@ class SchemePipeline:
         self._built: Optional[BuildReport] = None
         self._estimation: Optional[DistanceEstimation] = None
         self._compiled: Optional[CompiledScheme] = None
+        self._compiled_dense: Optional["DenseRoutingPlane"] = None
         self._compiled_estimation: Optional[CompiledEstimation] = None
 
     # -- stages --------------------------------------------------------
@@ -233,6 +234,7 @@ class SchemePipeline:
         self._built = None
         self._estimation = None
         self._compiled = None
+        self._compiled_dense = None
         self._compiled_estimation = None
 
     # -- execution -----------------------------------------------------
@@ -269,11 +271,29 @@ class SchemePipeline:
                                   pipeline=self)
         return self._built
 
-    def compile(self) -> CompiledScheme:
-        """Build (if needed) and flatten into the serve-side artifact."""
-        if self._compiled is None:
-            self._compiled = self.build().scheme.compile()
-        return self._compiled
+    def compile(self, tier: str = "flat"):
+        """Build (if needed) and flatten into the serve-side artifact.
+
+        ``tier`` selects the artifact tier: ``"flat"`` (default) is the
+        :class:`~repro.core.CompiledScheme`; ``"dense"`` compiles that
+        further into a :class:`~repro.core.DenseRoutingPlane`, the
+        gather-loop serving plane.  Both are cached independently, and
+        the dense tier reuses a cached flat compile.
+        """
+        if tier == "flat":
+            if self._compiled is None:
+                self._compiled = self.build().scheme.compile()
+            return self._compiled
+        if tier == "dense":
+            if self._compiled_dense is None:
+                from .core import DenseRoutingPlane
+
+                self._compiled_dense = DenseRoutingPlane.from_compiled(
+                    self.compile())
+            return self._compiled_dense
+        raise ParameterError(
+            f"unknown artifact tier {tier!r}; choose 'flat' or "
+            "'dense'")
 
     def compile_estimation(self) -> CompiledEstimation:
         """Build the sketches (if needed) and flatten them.
@@ -287,7 +307,7 @@ class SchemePipeline:
 
     def serve(self, workers: Optional[int] = None,
               policy: str = "round-robin", kind: str = "routing",
-              **pool_kwargs) -> "RouterPool":
+              tier: str = "flat", **pool_kwargs) -> "RouterPool":
         """Compile (building if needed) and open a sharded serving pool.
 
         The final stage of the lifecycle: ``build() → compile() →
@@ -296,12 +316,14 @@ class SchemePipeline:
         ``route_many``/``estimate_many`` are bit-identical to the
         compiled artifact's own batch methods, served from ``workers``
         processes sharing one copy of the tables.  ``kind`` selects the
-        artifact: ``"routing"`` (default) or ``"estimation"``.
+        artifact: ``"routing"`` (default) or ``"estimation"``; ``tier``
+        picks the routing plane (``"flat"`` or ``"dense"``), exactly as
+        in :meth:`compile`.
         """
         from .serving import RouterPool
 
         if kind == "routing":
-            artifact = self.compile()
+            artifact = self.compile(tier)
         elif kind == "estimation":
             artifact = self.compile_estimation()
         else:
@@ -313,7 +335,7 @@ class SchemePipeline:
 
     def serve_async(self, workers: int = 0, kind: str = "routing",
                     max_batch: int = 128, max_wait_ms: float = 2.0,
-                    max_pending: int = 1024,
+                    max_pending: int = 1024, tier: str = "flat",
                     **pool_kwargs) -> "RequestBroker":
         """Compile (building if needed) and front it with the async
         request broker — the streaming counterpart of :meth:`serve`.
@@ -339,7 +361,7 @@ class SchemePipeline:
                 "'estimation' or 'both'")
         router = estimator = None
         if kind in ("routing", "both"):
-            router = self.compile()
+            router = self.compile(tier)
         if kind in ("estimation", "both"):
             estimator = self.compile_estimation()
         return pooled_broker(router, estimator, workers=workers,

@@ -134,6 +134,19 @@ def write_frame(writer: asyncio.StreamWriter, payload: str) -> None:
 # ----------------------------------------------------------------------
 # Request / response payloads
 # ----------------------------------------------------------------------
+def _strict_int(text: str) -> int:
+    """Parse a TSV endpoint strictly: ASCII digits, at most one
+    leading ``-``.  Bare ``int()`` is far too permissive for a wire
+    protocol — it accepts PEP-515 underscores (``"1_0"`` -> ``10``),
+    surrounding whitespace, a leading ``+``, and non-ASCII digit
+    scripts, all of which would silently *misroute* a typo instead of
+    returning a typed ``ERR``."""
+    body = text[1:] if text.startswith("-") else text
+    if not body or not body.isascii() or not body.isdigit():
+        raise ValueError(text)
+    return int(text)
+
+
 class Request:
     """One decoded request frame."""
 
@@ -187,7 +200,8 @@ def decode_request(payload: str,
     pairs: List[Tuple[int, int]] = []
     for i in range(0, len(coords), 2):
         try:
-            pairs.append((int(coords[i]), int(coords[i + 1])))
+            pairs.append((_strict_int(coords[i]),
+                          _strict_int(coords[i + 1])))
         except ValueError:
             raise ProtocolError(
                 f"endpoint {coords[i][:32]!r}/{coords[i + 1][:32]!r} "

@@ -41,6 +41,7 @@ import weakref
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.compiled import CompiledEstimation, CompiledScheme, _as_batch
+from ..core.dense import DenseRoutingPlane
 from ..exceptions import ParameterError, ServingError
 from . import columnar
 from .columnar import RESULT_TRANSPORTS
@@ -145,7 +146,8 @@ class RouterPool:
     Parameters
     ----------
     artifact:
-        A :class:`CompiledScheme` or :class:`CompiledEstimation`.
+        A :class:`CompiledScheme`, :class:`DenseRoutingPlane` or
+        :class:`CompiledEstimation`.
         Routing pools answer :meth:`route_many`, estimation pools
         :meth:`estimate_many`; asking the wrong kind raises
         :class:`~repro.exceptions.ParameterError`.
@@ -203,10 +205,12 @@ class RouterPool:
         self._serve_lock = threading.Lock()
 
         if not isinstance(artifact, (CompiledScheme,
+                                     DenseRoutingPlane,
                                      CompiledEstimation)):
             raise ParameterError(
                 "RouterPool serves compiled artifacts "
-                "(CompiledScheme/CompiledEstimation), got "
+                "(CompiledScheme/DenseRoutingPlane/"
+                "CompiledEstimation), got "
                 f"{type(artifact).__name__}")
         if workers is None:
             workers = os.cpu_count() or 1
@@ -315,7 +319,7 @@ class RouterPool:
         input order preserved."""
         kwargs = {} if max_hops is None else {"max_hops": max_hops}
         return self._serve("_route_many_validated", pairs, kwargs,
-                           CompiledScheme)
+                           (CompiledScheme, DenseRoutingPlane))
 
     def estimate_many(self, pairs: Sequence[Tuple[int, int]]
                       ) -> List[float]:
@@ -331,7 +335,8 @@ class RouterPool:
         broker) does not re-validate every fused window."""
         kwargs = {} if max_hops is None else {"max_hops": max_hops}
         return self._serve("_route_many_validated", pairs, kwargs,
-                           CompiledScheme, validated=True)
+                           (CompiledScheme, DenseRoutingPlane),
+                           validated=True)
 
     def _estimate_many_validated(self, pairs: Sequence[Tuple[int, int]]
                                  ) -> List[float]:
@@ -350,8 +355,12 @@ class RouterPool:
         # reduced capacity silently is worse than telling the caller.
         self._check_liveness()
         if not isinstance(self._artifact, required_cls):
+            wanted = "/".join(
+                c.__name__ for c in (
+                    required_cls if isinstance(required_cls, tuple)
+                    else (required_cls,)))
             raise ParameterError(
-                f"{method} needs a {required_cls.__name__}; this pool "
+                f"{method} needs a {wanted}; this pool "
                 f"serves a {type(self._artifact).__name__}")
         # Same validator, parent-side, *before* any dispatch: identical
         # exceptions to the single-process path, and workers only ever

@@ -21,7 +21,11 @@ from repro.core.compiled import (
     CompiledScheme,
     load_artifact,
 )
-from repro.exceptions import ArtifactError, ParameterError
+from repro.exceptions import (
+    ArtifactError,
+    HopBudgetError,
+    ParameterError,
+)
 from repro.graphs import grid, random_connected, ring_of_cliques
 from repro.pipeline import SchemePipeline
 
@@ -261,3 +265,98 @@ class TestCorruptionRejection:
                          for name, tc in CS._FIELDS])
         with pytest.raises(ArtifactError, match="metadata"):
             load_artifact(bad)
+
+
+class TestHopBudget:
+    """A caller-supplied ``max_hops`` running out is the caller's
+    problem: :class:`HopBudgetError`, never the bare ``SchemeError``
+    reserved for corrupt artifacts (pre-fix, both cases raised the
+    same exception and callers could not tell them apart)."""
+
+    def test_exact_budget_succeeds(self, built_cases):
+        compiled = built_cases["grid"].scheme.compile()
+        n = compiled.num_vertices
+        r = compiled.route(0, n - 1)
+        hops = len(r.path) - 1
+        assert compiled.route(0, n - 1, max_hops=hops) == r
+
+    def test_one_short_raises_hop_budget_error(self, built_cases):
+        compiled = built_cases["grid"].scheme.compile()
+        n = compiled.num_vertices
+        hops = len(compiled.route(0, n - 1).path) - 1
+        assert hops >= 1
+        with pytest.raises(HopBudgetError):
+            compiled.route(0, n - 1, max_hops=hops - 1)
+
+    def test_zero_budget(self, built_cases):
+        compiled = built_cases["grid"].scheme.compile()
+        with pytest.raises(HopBudgetError):
+            compiled.route(0, compiled.num_vertices - 1, max_hops=0)
+        # the self route takes no hops, so zero budget suffices
+        assert compiled.route(3, 3, max_hops=0).path == [3]
+
+    def test_batch_budget(self, built_cases):
+        compiled = built_cases["grid"].scheme.compile()
+        pairs = _all_pairs(compiled.num_vertices)
+        worst = max(len(r.path) - 1
+                    for r in compiled.route_many(pairs))
+        assert compiled.route_many(pairs, max_hops=worst) == \
+            compiled.route_many(pairs)
+        with pytest.raises(HopBudgetError):
+            compiled.route_many(pairs, max_hops=worst - 1)
+
+
+class TestReportingDegenerates:
+    """``max_*``/``average_*`` on empty artifacts return the identity
+    (0 / 0.0) instead of tripping over ``max()`` of an empty sequence
+    or a zero division — degenerate artifacts are legal and serve the
+    empty batch."""
+
+    @pytest.fixture()
+    def empty_scheme(self):
+        arrays = {name: [] for name, _tc in CompiledScheme._FIELDS}
+        return CompiledScheme({"n": 0, "k": 1}, arrays)
+
+    @pytest.fixture()
+    def empty_estimation(self):
+        arrays = {name: []
+                  for name, _tc in CompiledEstimation._FIELDS}
+        return CompiledEstimation({"n": 0, "k": 1}, arrays)
+
+    def test_empty_scheme_reporting(self, empty_scheme):
+        assert empty_scheme.max_table_words() == 0
+        assert empty_scheme.average_table_words() == 0.0
+        assert empty_scheme.max_label_words() == 0
+        assert empty_scheme.average_label_words() == 0.0
+
+    def test_empty_scheme_serves_empty_batch(self, empty_scheme):
+        assert empty_scheme.route_many([]) == []
+        with pytest.raises(ParameterError):
+            empty_scheme.route(0, 0)
+
+    def test_empty_estimation_reporting(self, empty_estimation):
+        assert empty_estimation.max_sketch_words() == 0
+        assert empty_estimation.average_sketch_words() == 0.0
+        assert empty_estimation.estimate_many([]) == []
+
+    def test_empty_scheme_round_trips(self, empty_scheme, tmp_path):
+        path = tmp_path / "empty.cra"
+        empty_scheme.save(path)
+        loaded = load_artifact(path)
+        assert isinstance(loaded, CompiledScheme)
+        assert loaded.max_table_words() == 0
+        assert loaded.average_table_words() == 0.0
+
+    def test_single_vertex_scheme(self):
+        from repro.graphs.generators import WeightedGraph
+        compiled = (SchemePipeline().graph(WeightedGraph(1),
+                                           name="one")
+                    .params(2).seed(1).compile())
+        # one vertex still owns a real table; averages are over n=1
+        assert compiled.max_table_words() == \
+            compiled.average_table_words()
+        assert compiled.max_label_words() == \
+            compiled.average_label_words()
+        route = compiled.route(0, 0)
+        assert route.path == [0]
+        assert route.weight == 0.0

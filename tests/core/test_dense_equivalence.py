@@ -1,0 +1,239 @@
+"""Differential pin: the dense plane IS the flat plane, bit for bit.
+
+Every case builds one scheme, compiles both artifact tiers from it,
+and drives them through the same batches — all-pairs, tiny batches
+(below the vectorization threshold), duplicate-heavy and self-pair
+mixes — asserting listwise ``CompiledRoute`` equality on every field
+(path, weight, tree_center, found_level).  The whole grid runs twice:
+once with numpy and once with ``dense._np`` monkeypatched to ``None``,
+so the pure-python fallback is held to the same contract as the
+vectorized engine.
+
+Also here: the hop-budget regression tests (a caller ``max_hops``
+running out must raise :class:`HopBudgetError` on *both* planes, while
+exact-length budgets succeed), and the dense artifact round trips
+(save/load, ``load_artifact`` dispatch, export/attach zero-copy).
+"""
+
+import random
+
+import pytest
+
+import repro.core.dense as dense_mod
+from repro.core.compiled import (
+    CompiledScheme,
+    attach_artifact,
+    load_artifact,
+)
+from repro.core.dense import DenseRoutingPlane
+from repro.exceptions import (
+    ArtifactError,
+    HopBudgetError,
+    ParameterError,
+    SchemeError,
+)
+from repro.graphs.generators import (
+    caterpillar_tree,
+    grid,
+    path,
+    random_connected,
+    random_geometric,
+    ring_of_cliques,
+    star_of_paths,
+    weighted_small_world,
+)
+from repro.pipeline import SchemePipeline
+
+#: (name, graph factory, k, seed) — small on purpose (all-pairs
+#: batches stay cheap) but diverse in shape: meshes, sparse random,
+#: dense cliques, a hub-and-spoke star, degenerate paths/trees, and
+#: the chorded ring.  Trees and paths exercise the single-tree
+#: branches; cliques the heavy-splitter fallback.
+CASES = [
+    ("grid5x5", lambda: grid(5, 5, seed=3), 2, 3),
+    ("grid6x6", lambda: grid(6, 6, seed=1), 3, 1),
+    ("random30", lambda: random_connected(30, 0.12, seed=11), 2, 11),
+    ("random40", lambda: random_connected(40, 0.12, seed=7), 3, 7),
+    ("cliques", lambda: ring_of_cliques(4, 6, seed=4), 3, 4),
+    ("star", lambda: star_of_paths(4, 8, seed=9), 2, 9),
+    ("path24", lambda: path(24, seed=2), 2, 2),
+    ("caterpillar", lambda: caterpillar_tree(12, 1, seed=5), 2, 5),
+    ("smallworld", lambda: weighted_small_world(32, seed=13), 3, 13),
+    ("geometric", lambda: random_geometric(30, seed=8), 2, 8),
+]
+
+
+@pytest.fixture(scope="module", params=CASES, ids=lambda c: c[0])
+def tiers(request):
+    """(CompiledScheme, DenseRoutingPlane) for one case."""
+    name, factory, k, seed = request.param
+    compiled = (SchemePipeline().graph(factory(), name=name)
+                .params(k).seed(seed).compile())
+    return compiled, DenseRoutingPlane.from_compiled(compiled)
+
+
+@pytest.fixture(params=["numpy", "scalar"])
+def dense(request, tiers, monkeypatch):
+    """The dense plane under both engines.
+
+    The scalar variant is constructed *after* blanking the module's
+    numpy handle, so ``_post_init`` builds no mirrors and every serve
+    takes the pure-python path — exactly the no-numpy CI environment.
+    """
+    compiled, plane = tiers
+    if request.param == "numpy":
+        if dense_mod._np is None:
+            pytest.skip("numpy not installed")
+        return plane
+    monkeypatch.setattr(dense_mod, "_np", None)
+    return DenseRoutingPlane.from_compiled(compiled)
+
+
+def assert_routes_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g == w
+
+
+def all_pairs(n):
+    return [(s, t) for s in range(n) for t in range(n)]
+
+
+class TestBatchEquivalence:
+
+    def test_all_pairs(self, tiers, dense):
+        compiled, _ = tiers
+        pairs = all_pairs(compiled.num_vertices)
+        assert_routes_equal(dense.route_many(pairs),
+                            compiled.route_many(pairs))
+
+    def test_small_batches_take_scalar_path(self, tiers, dense):
+        """Batches below ``_SMALL_BATCH`` never vectorize — still
+        identical, including the single-pair and empty edge cases."""
+        compiled, _ = tiers
+        n = compiled.num_vertices
+        rng = random.Random(17)
+        for size in (0, 1, 2, dense_mod._SMALL_BATCH - 1):
+            pairs = [(rng.randrange(n), rng.randrange(n))
+                     for _ in range(size)]
+            assert_routes_equal(dense.route_many(pairs),
+                                compiled.route_many(pairs))
+
+    def test_duplicate_heavy_batch(self, tiers, dense):
+        """Skewed serving traffic: a small hot set repeated many times
+        (the canonicalization fast path) mixed with every self-pair."""
+        compiled, _ = tiers
+        n = compiled.num_vertices
+        rng = random.Random(23)
+        hot = [(rng.randrange(n), rng.randrange(n)) for _ in range(8)]
+        pairs = ([rng.choice(hot) for _ in range(400)]
+                 + [(v, v) for v in range(n)])
+        rng.shuffle(pairs)
+        assert_routes_equal(dense.route_many(pairs),
+                            compiled.route_many(pairs))
+
+    def test_route_single(self, tiers, dense):
+        compiled, _ = tiers
+        n = compiled.num_vertices
+        assert dense.route(0, n - 1) == compiled.route(0, n - 1)
+        assert dense.route(n - 1, 0) == compiled.route(n - 1, 0)
+
+
+class TestHopBudget:
+    """Regressions for the budget/corruption split: running out of a
+    *caller-supplied* ``max_hops`` is the caller's problem
+    (:class:`HopBudgetError`), not a corrupt artifact."""
+
+    def test_hop_budget_error_is_scheme_error(self):
+        assert issubclass(HopBudgetError, SchemeError)
+
+    def test_exact_budget_succeeds(self, tiers, dense):
+        compiled, _ = tiers
+        n = compiled.num_vertices
+        for plane in (compiled, dense):
+            r = plane.route(0, n - 1)
+            hops = len(r.path) - 1
+            assert plane.route(0, n - 1, max_hops=hops) == r
+
+    def test_one_short_raises_budget_error(self, tiers, dense):
+        compiled, _ = tiers
+        n = compiled.num_vertices
+        for plane in (compiled, dense):
+            hops = len(plane.route(0, n - 1).path) - 1
+            assert hops >= 1, "pick a non-self pair for this test"
+            with pytest.raises(HopBudgetError):
+                plane.route(0, n - 1, max_hops=hops - 1)
+
+    def test_zero_budget(self, tiers, dense):
+        compiled, _ = tiers
+        n = compiled.num_vertices
+        for plane in (compiled, dense):
+            with pytest.raises(HopBudgetError):
+                plane.route(0, n - 1, max_hops=0)
+            # a self route takes no hops, so a zero budget is enough
+            r = plane.route(0, 0, max_hops=0)
+            assert r.path == [0]
+
+    def test_budget_on_vectorized_batch(self, tiers, dense):
+        """Budgets thread through the batched engine too: exact-length
+        succeeds identically, one-short raises on both planes."""
+        compiled, _ = tiers
+        pairs = all_pairs(compiled.num_vertices)
+        flat_routes = compiled.route_many(pairs)
+        worst = max(len(r.path) - 1 for r in flat_routes)
+        assert_routes_equal(
+            dense.route_many(pairs, max_hops=worst),
+            compiled.route_many(pairs, max_hops=worst))
+        with pytest.raises(HopBudgetError):
+            compiled.route_many(pairs, max_hops=worst - 1)
+        with pytest.raises(HopBudgetError):
+            dense.route_many(pairs, max_hops=worst - 1)
+
+
+class TestArtifactRoundTrip:
+
+    def test_save_load_serves_identically(self, tiers, tmp_path):
+        compiled, plane = tiers
+        out = tmp_path / "plane.cra"
+        plane.save(out)
+        loaded = load_artifact(out)
+        assert isinstance(loaded, DenseRoutingPlane)
+        pairs = all_pairs(compiled.num_vertices)[:64]
+        assert_routes_equal(loaded.route_many(pairs),
+                            compiled.route_many(pairs))
+
+    def test_export_attach_zero_copy(self, tiers):
+        compiled, plane = tiers
+        buffers = plane.export_buffers()
+        attached = attach_artifact(buffers.header(), buffers.payload)
+        assert isinstance(attached, DenseRoutingPlane)
+        pairs = all_pairs(compiled.num_vertices)[:64]
+        assert_routes_equal(attached.route_many(pairs),
+                            compiled.route_many(pairs))
+
+
+class TestConstructionErrors:
+
+    def test_from_compiled_rejects_non_scheme(self):
+        with pytest.raises(ParameterError):
+            DenseRoutingPlane.from_compiled(42)
+
+    def test_truncated_find_tree_rejected(self, tiers):
+        compiled, plane = tiers
+        arrays = {name: list(getattr(plane, "_" + name))
+                  for name, _ in DenseRoutingPlane._FIELDS}
+        arrays["f_pivot"] = arrays["f_pivot"][:-1]
+        with pytest.raises(ArtifactError):
+            DenseRoutingPlane(dict(plane.meta), arrays)
+
+
+def test_pool_serves_dense_plane():
+    """One light end-to-end check that the sharded pool accepts the
+    dense tier and stays bit-identical to in-process flat serving."""
+    pipeline = (SchemePipeline().graph(grid(5, 5, seed=3), name="g")
+                .params(2).seed(3))
+    compiled = pipeline.compile()
+    pairs = all_pairs(compiled.num_vertices)[:128]
+    with pipeline.serve(workers=1, tier="dense") as pool:
+        assert_routes_equal(pool.route_many(pairs),
+                            compiled.route_many(pairs))

@@ -29,6 +29,7 @@ from repro.core.compiled import (
     CompiledScheme,
     load_artifact,
 )
+from repro.core.dense import DenseRoutingPlane
 
 DATA = Path(__file__).parent.parent / "data"
 
@@ -49,6 +50,11 @@ def estimation_bytes(expected):
     return (DATA / expected["estimation_file"]).read_bytes()
 
 
+@pytest.fixture(scope="module")
+def dense_bytes(expected):
+    return (DATA / expected["dense_file"]).read_bytes()
+
+
 class TestByteLevelPin:
 
     def test_fixture_is_current_format(self, expected, scheme_bytes):
@@ -59,21 +65,32 @@ class TestByteLevelPin:
         (version,) = struct.unpack_from("<I", scheme_bytes, len(MAGIC))
         assert version == FORMAT_VERSION
 
+    def test_dense_fixture_is_current_format(self, dense_bytes):
+        assert dense_bytes.startswith(MAGIC)
+        (version,) = struct.unpack_from("<I", dense_bytes, len(MAGIC))
+        assert version == FORMAT_VERSION
+
     def test_sha256_matches_committed_record(self, expected,
                                              scheme_bytes,
-                                             estimation_bytes):
+                                             estimation_bytes,
+                                             dense_bytes):
         assert hashlib.sha256(scheme_bytes).hexdigest() == \
             expected["scheme_sha256"]
         assert hashlib.sha256(estimation_bytes).hexdigest() == \
             expected["estimation_sha256"]
+        assert hashlib.sha256(dense_bytes).hexdigest() == \
+            expected["dense_sha256"]
 
     def test_load_save_is_identity(self, expected, scheme_bytes,
-                                   estimation_bytes, tmp_path):
+                                   estimation_bytes, dense_bytes,
+                                   tmp_path):
         for name, blob, cls in [
                 (expected["scheme_file"], scheme_bytes,
                  CompiledScheme),
                 (expected["estimation_file"], estimation_bytes,
-                 CompiledEstimation)]:
+                 CompiledEstimation),
+                (expected["dense_file"], dense_bytes,
+                 DenseRoutingPlane)]:
             loaded = cls.load(DATA / name)
             out = tmp_path / name
             loaded.save(out)
@@ -100,6 +117,32 @@ class TestServeLevelPin:
             assert served.weight == want["weight"]
             assert served.tree_center == want["tree_center"]
             assert served.found_level == want["found_level"]
+
+    def test_dense_routes_pinned(self, expected):
+        """The dense plane serves the *same* pinned routes off its own
+        committed bytes — compilation from the flat tier is lossless."""
+        dense = load_artifact(DATA / expected["dense_file"])
+        assert isinstance(dense, DenseRoutingPlane)
+        pairs = [tuple(p) for p in expected["pairs"]]
+        for served, want in zip(dense.route_many(pairs),
+                                expected["routes"]):
+            assert served.source == want["source"]
+            assert served.target == want["target"]
+            assert served.path == want["path"]
+            assert served.weight == want["weight"]
+            assert served.tree_center == want["tree_center"]
+            assert served.found_level == want["found_level"]
+
+    def test_dense_recompile_matches_fixture(self, expected,
+                                             dense_bytes, tmp_path):
+        """``from_compiled`` on the committed flat fixture reproduces
+        the committed dense bytes — the compiler is deterministic."""
+        scheme = CompiledScheme.load(DATA / expected["scheme_file"])
+        out = tmp_path / expected["dense_file"]
+        DenseRoutingPlane.from_compiled(scheme).save(out)
+        assert out.read_bytes() == dense_bytes, \
+            "dense compilation of the committed flat artifact drifted; " \
+            "bump FORMAT_VERSION and regenerate the fixtures"
 
     def test_estimates_pinned(self, expected):
         est = CompiledEstimation.load(

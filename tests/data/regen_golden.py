@@ -18,6 +18,7 @@ import random
 from pathlib import Path
 
 from repro.core.compiled import FORMAT_VERSION
+from repro.core.dense import DenseRoutingPlane
 from repro.pipeline import SchemePipeline
 
 HERE = Path(__file__).parent
@@ -27,6 +28,7 @@ WORKLOAD, N, K, SEED = "grid", 25, 2, 3
 
 SCHEME_FILE = "golden_grid25_k2.cra"
 ESTIMATION_FILE = "golden_grid25_k2_est.cra"
+DENSE_FILE = "golden_grid25_k2_dense.cra"
 EXPECTED_FILE = "golden_grid25_k2.expected.json"
 
 #: Pairs whose served results are pinned next to the bytes (covers
@@ -42,6 +44,8 @@ def main() -> None:
     estimation = pipeline.compile_estimation()
     compiled.save(HERE / SCHEME_FILE)
     estimation.save(HERE / ESTIMATION_FILE)
+    dense = DenseRoutingPlane.from_compiled(compiled)
+    dense.save(HERE / DENSE_FILE)
 
     rng = random.Random(99)
     sample = [(rng.randrange(compiled.num_vertices),
@@ -59,6 +63,9 @@ def main() -> None:
         "estimation_file": ESTIMATION_FILE,
         "estimation_sha256": hashlib.sha256(
             (HERE / ESTIMATION_FILE).read_bytes()).hexdigest(),
+        "dense_file": DENSE_FILE,
+        "dense_sha256": hashlib.sha256(
+            (HERE / DENSE_FILE).read_bytes()).hexdigest(),
         "pairs": [list(p) for p in pairs],
         "routes": [
             {"source": r.source, "target": r.target,
@@ -70,8 +77,8 @@ def main() -> None:
     }
     (HERE / EXPECTED_FILE).write_text(
         json.dumps(expected, indent=1) + "\n")
-    print(f"wrote {SCHEME_FILE}, {ESTIMATION_FILE}, {EXPECTED_FILE} "
-          f"(format v{FORMAT_VERSION})")
+    print(f"wrote {SCHEME_FILE}, {ESTIMATION_FILE}, {DENSE_FILE}, "
+          f"{EXPECTED_FILE} (format v{FORMAT_VERSION})")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,12 @@ MALFORMED_FRAMES = [
     ("odd-arity", frame(b"R\t1\t0\t1\t2"), True, True),
     ("non-integer", frame(b"R\t1\tzero\tone"), True, True),
     ("float-endpoint", frame(b"E\t1\t0.5\t1"), True, True),
+    # int() would happily accept all three of these (PEP-515
+    # underscores, surrounding whitespace, an explicit sign) and
+    # silently misroute the typo; the strict parser must reject them
+    ("underscore-endpoint", frame(b"R\t1\t1_0\t5"), True, True),
+    ("space-padded-endpoint", frame(b"R\t1\t 5\t3"), True, True),
+    ("plus-signed-endpoint", frame(b"E\t1\t+3\t4"), True, True),
     ("non-utf8", frame(b"R\t1\t\xff\xfe\x80\x81"), True, True),
     ("empty-frame", frame(b""), True, True),
     ("ping-extra-fields", frame(b"PING\t1\tjunk"), True, True),
@@ -195,3 +201,35 @@ def test_error_frame_sanitizes_tabs_and_length():
     assert fields[:3] == ["ERR", "7", "parameter"]
     assert "\n" not in payload
     assert len(fields) == 4 and len(fields[3]) <= 512
+
+
+def test_strict_int_accepts_canonical_forms():
+    assert protocol._strict_int("0") == 0
+    assert protocol._strict_int("17") == 17
+    assert protocol._strict_int("-3") == -3
+
+
+@pytest.mark.parametrize("text", [
+    "1_0",       # PEP-515 underscore: int() reads 10
+    " 5",        # int() strips whitespace
+    "5 ",
+    "+3",        # int() accepts an explicit sign
+    "--3",
+    "-",
+    "",
+    "٣",         # non-ASCII digit script: int() reads 3
+    "0x10",
+    "1e3",
+])
+def test_strict_int_rejects_lenient_int_forms(text):
+    with pytest.raises(ValueError):
+        protocol._strict_int(text)
+
+
+@pytest.mark.parametrize("coord", ["1_0", " 5", "+3"])
+def test_decode_request_rejects_lenient_integers(coord):
+    """The full decoder surfaces the strict parse as a typed
+    ProtocolError, never as a silently misrouted pair."""
+    from repro.exceptions import ProtocolError
+    with pytest.raises(ProtocolError, match="integer"):
+        protocol.decode_request(f"R\t1\t{coord}\t5")
