@@ -1,0 +1,243 @@
+"""[E9] Incremental rebuilds vs from-scratch pipeline builds.
+
+Measures :class:`repro.dynamic.IncrementalBuilder` against a cold
+``SchemePipeline`` build after every change batch, across change-batch
+sizes (1, 8, 64 edges) and change models, on two workloads:
+
+* **flap** — a set of links flaps between two weight states (the
+  classic incident pattern: spike, restore, spike again).  After the
+  first spike every state is a fingerprint-cache hit, so this series
+  shows the steady-state win of the versioned build cache.
+* **jitter** — every step perturbs fresh random edges (cumulative
+  drift: no state ever repeats).  This is the honest lower bound: the
+  builder must re-run construction with tree-level reuse
+  (``partial``) or, for certified increase-only batches, recompile
+  without construction (``compile-only``).
+* **mixed** — jitter plus a link failure + later repair every third
+  step: topology edits force the ``full``-rebuild fallback, so the
+  recorded fallback rate is honestly non-zero.
+
+Every step asserts the incremental artifacts (flat *and* dense tiers)
+are bit-identical to the from-scratch build before timing is recorded
+— the speedup is never allowed to change semantics.  The timing
+baseline is that same scratch build, so verification is free.
+
+Emits ``benchmarks/results/incremental.json``.  The pytest-mode entry
+asserts the acceptance floor: >= 3x mean speedup on single-edge flap
+series.
+
+Usage::
+
+    python benchmarks/bench_incremental.py              # defaults
+    python benchmarks/bench_incremental.py --steps 2 \
+        --out /tmp/incremental.json                     # CI smoke
+"""
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dynamic import IncrementalBuilder, TopologyFeed
+from repro.graphs.csr import HAVE_NUMPY
+from repro.pipeline import SchemePipeline, make_workload
+
+#: Acceptance floor: single-edge flap series, mean speedup.
+REQUIRED_FLAP_SPEEDUP = 3.0
+
+WORKLOADS = [("random", 90, 2, 3), ("grid", 81, 2, 7)]
+BATCH_SIZES = [1, 8, 64]
+MODELS = ["flap", "jitter", "mixed"]
+
+
+def _artifact_bytes(artifact):
+    bufs = artifact.export_buffers()
+    return (repr(bufs.meta), repr(bufs.manifest), bufs.payload)
+
+
+def _scratch(graph, k, seed):
+    """Cold pipeline build on a copy; returns (seconds, flat, dense)."""
+    start = time.perf_counter()
+    pipe = SchemePipeline().graph(graph.copy()).params(k).seed(seed)
+    flat = pipe.compile("flat")
+    dense = pipe.compile("dense")
+    return time.perf_counter() - start, flat, dense
+
+
+def _pick_edges(graph, rng, count):
+    edges = sorted(graph.edges())
+    rng.shuffle(edges)
+    return edges[:count]
+
+
+class _Mutator:
+    """Applies one change batch per step for a given model."""
+
+    def __init__(self, feed, model, batch_size, rng):
+        self.feed = feed
+        self.model = model
+        self.batch_size = batch_size
+        self.rng = rng
+        self._flap_edges = None
+        self._spiked = False
+        self._down = None
+
+    def step(self, index):
+        if self.model == "flap":
+            if self._flap_edges is None:
+                self._flap_edges = _pick_edges(
+                    self.feed.graph, self.rng, self.batch_size)
+            if self._spiked:
+                for u, v, w in self._flap_edges:
+                    self.feed.update_edge_weight(u, v, w)
+            else:
+                for u, v, w in self._flap_edges:
+                    self.feed.update_edge_weight(u, v, w + 25)
+            self._spiked = not self._spiked
+            return
+        # jitter (also the base of mixed): fresh edges, mixed deltas
+        for i, (u, v, w) in enumerate(_pick_edges(
+                self.feed.graph, self.rng, self.batch_size)):
+            delta = (i % 5) - 2 or 1
+            self.feed.update_edge_weight(u, v, max(1, w + delta))
+        if self.model == "mixed" and index % 3 == 2:
+            if self._down is None:
+                u, v, w = self._removable_edge()
+                self.feed.fail_edge(u, v)
+                self._down = (u, v, w)
+            else:
+                self.feed.restore_edge(*self._down)
+                self._down = None
+
+    def _removable_edge(self):
+        graph = self.feed.graph
+        for u, v, w in sorted(graph.edges()):
+            graph.remove_edge(u, v)
+            ok = graph.is_connected()
+            graph.add_edge(u, v, w)
+            if ok:
+                return u, v, w
+        raise RuntimeError("no removable edge")
+
+
+def _run_series(workload, n, k, seed, model, batch_size, steps):
+    graph = make_workload(workload, n, seed=seed).graph
+    feed = TopologyFeed(graph)
+    builder = IncrementalBuilder(feed, k=k, seed=seed)
+    t0 = time.perf_counter()
+    builder.build()
+    initial_seconds = time.perf_counter() - t0
+
+    mutator = _Mutator(feed, model, batch_size,
+                       random.Random(100 * batch_size + seed))
+    inc_seconds, scratch_seconds, strategies = [], [], []
+    for index in range(steps):
+        mutator.step(index)
+        start = time.perf_counter()
+        report = builder.rebuild()
+        inc_seconds.append(time.perf_counter() - start)
+        strategies.append(report.strategy)
+        t_scratch, flat, dense = _scratch(graph, k, seed)
+        scratch_seconds.append(t_scratch)
+        assert _artifact_bytes(report.compiled) == \
+            _artifact_bytes(flat), (model, batch_size, index)
+        assert _artifact_bytes(report.dense) == \
+            _artifact_bytes(dense), (model, batch_size, index)
+
+    stats = builder.stats()
+    mean_inc = sum(inc_seconds) / len(inc_seconds)
+    mean_scratch = sum(scratch_seconds) / len(scratch_seconds)
+    return {
+        "workload": f"{workload}{graph.num_vertices}-k{k}",
+        "model": model,
+        "batch_size": batch_size,
+        "steps": steps,
+        "initial_build_seconds": round(initial_seconds, 6),
+        "incremental_mean_seconds": round(mean_inc, 6),
+        "scratch_mean_seconds": round(mean_scratch, 6),
+        "speedup": round(mean_scratch / mean_inc, 3),
+        "strategies": strategies,
+        "fallback_rate": round(stats["fallback_rate"], 4),
+    }
+
+
+def collect_record(steps=6, workloads=None):
+    series = []
+    for workload, n, k, seed in (workloads or WORKLOADS):
+        for model in MODELS:
+            for batch_size in BATCH_SIZES:
+                series.append(_run_series(workload, n, k, seed,
+                                          model, batch_size, steps))
+    return {
+        "benchmark": "incremental",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": HAVE_NUMPY,
+        "series": series,
+    }
+
+
+def _print_record(record):
+    header = (f"{'workload':<16} {'model':<7} {'batch':>5} "
+              f"{'incremental':>12} {'scratch':>10} {'speedup':>8} "
+              f"{'fallback':>9}")
+    print(header)
+    print("-" * len(header))
+    for s in record["series"]:
+        print(f"{s['workload']:<16} {s['model']:<7} "
+              f"{s['batch_size']:>5} "
+              f"{s['incremental_mean_seconds'] * 1e3:>10.1f}ms "
+              f"{s['scratch_mean_seconds'] * 1e3:>8.1f}ms "
+              f"{s['speedup']:>7.2f}x {s['fallback_rate']:>9.2f}")
+
+
+def _flap_single_edge_speedups(record):
+    return [s["speedup"] for s in record["series"]
+            if s["model"] == "flap" and s["batch_size"] == 1]
+
+
+@pytest.mark.artifact("E9")
+def bench_incremental(benchmark):
+    """Incremental rebuilds bit-identical; single-edge flaps >= 3x."""
+    record = benchmark.pedantic(lambda: collect_record(steps=4),
+                                rounds=1, iterations=1)
+    print()
+    _print_record(record)
+    speedups = _flap_single_edge_speedups(record)
+    assert speedups, "no single-edge flap series collected"
+    for speedup in speedups:
+        assert speedup >= REQUIRED_FLAP_SPEEDUP, (
+            f"single-edge flap speedup {speedup:.2f}x below "
+            f"{REQUIRED_FLAP_SPEEDUP}x")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--steps", type=int, default=6,
+                        help="change batches per series")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "results"
+                        / "incremental.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+    record = collect_record(steps=args.steps)
+    _print_record(record)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[E9] record written to {args.out}")
+    speedups = _flap_single_edge_speedups(record)
+    if min(speedups) < REQUIRED_FLAP_SPEEDUP:
+        print(f"[E9] WARNING: single-edge flap speedup "
+              f"{min(speedups):.2f}x below the "
+              f"{REQUIRED_FLAP_SPEEDUP}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

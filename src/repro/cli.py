@@ -404,6 +404,53 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_registry(args: argparse.Namespace) -> int:
+    from .dynamic import ArtifactRegistry
+
+    registry = ArtifactRegistry(args.dir)
+    verb = args.verb
+    if verb == "list":
+        records = registry.generations(kind=args.kind or None)
+        if not records:
+            print("(registry is empty)")
+            return 0
+        for record in records:
+            print(record.describe())
+        latest = registry.latest(kind=args.kind or None)
+        if latest is not None:
+            print(f"latest live generation: {latest.generation}")
+        return 0
+    if verb == "show":
+        record = registry.get(args.generation)
+        for key, value in sorted(vars(record).items()):
+            print(f"{key}={value}")
+        return 0
+    if verb == "publish":
+        from .core.compiled import load_artifact
+
+        artifact = load_artifact(args.artifact)
+        record = registry.publish(artifact,
+                                  fingerprint=args.fingerprint,
+                                  note=args.note)
+        print(f"published generation {record.generation} "
+              f"({record.kind}, n={record.num_vertices}, "
+              f"sha256={record.sha256[:12]})")
+        return 0
+    if verb == "pin":
+        registry.pin(args.generation)
+        print(f"pinned generation {args.generation}")
+        return 0
+    if verb == "unpin":
+        registry.unpin(args.generation)
+        print(f"unpinned generation {args.generation}")
+        return 0
+    if verb == "retire":
+        registry.retire(args.generation)
+        print(f"retired generation {args.generation}")
+        return 0
+    raise ParameterError(f"unhandled registry verb {verb!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -520,6 +567,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("--out", metavar="FILE",
                        help="compile and save the estimation artifact")
     p_est.set_defaults(func=cmd_estimate)
+
+    p_registry = sub.add_parser(
+        "registry",
+        help="manage a generation-numbered artifact registry")
+    reg_sub = p_registry.add_subparsers(dest="verb", required=True)
+
+    def _reg(name, help_text, generation=False):
+        p = reg_sub.add_parser(name, help=help_text)
+        p.add_argument("dir", help="registry directory (created on "
+                                   "first publish)")
+        if generation:
+            p.add_argument("generation", type=int,
+                           help="generation number")
+        p.set_defaults(func=cmd_registry)
+        return p
+
+    p_reg_list = _reg("list", "list published generations")
+    p_reg_list.add_argument("--kind", default="",
+                            help="only this artifact kind (routing/"
+                                 "dense-routing/estimation)")
+    _reg("show", "print one generation's manifest row",
+         generation=True)
+    p_reg_pub = _reg("publish", "publish a .cra artifact as the next "
+                                "generation")
+    p_reg_pub.add_argument("artifact", help="artifact file to publish")
+    p_reg_pub.add_argument("--fingerprint", default=None,
+                           help="graph fingerprint to record "
+                                "(see repro.dynamic.graph_fingerprint)")
+    p_reg_pub.add_argument("--note", default="",
+                           help="free-form note stored in the manifest")
+    _reg("pin", "protect a generation from retirement",
+         generation=True)
+    _reg("unpin", "remove a generation's pin", generation=True)
+    _reg("retire", "delete a generation's payload (manifest row "
+                   "kept)", generation=True)
 
     p_bounds = sub.add_parser("bounds",
                               help="print analytic round models")

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs import csr as _csr
+from ..graphs import recording as _recording
 from ..graphs.csr import csr_view, frontier_neighbors, relax_frontier
 from ..graphs.shortest_paths import INF
 from ..graphs.virtual_graph import VirtualGraph
@@ -67,7 +68,11 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
 #: improving (vertex, source) winner, but the order of those calls
 #: across pairs is an implementation detail that differs between the
 #: execution paths (the differential guarantees below are stated for
-#: pure predicates, which is all the paper's join rules are).
+#: pure predicates, which is all the paper's join rules are).  It must
+#: also be *antitone in the distance* (once a candidate is rejected,
+#: every farther candidate is too) — true of the paper's threshold
+#: rules (Eq. (11)/(14)) and relied on by the support-edge recording
+#: (:mod:`repro.graphs.recording`), which records only applied updates.
 JoinPredicate = Callable[[int, int, float], bool]
 
 #: Words per (source, distance) estimate on the wire.
@@ -211,10 +216,13 @@ def nearest_source_exploration(graph: WeightedGraph,
                     cand_s[v] = su
                     cand_p[v] = u
         frontier = []
+        rec = _recording.active()
         for v in sorted(touched):
             dist[v] = cand_d[v]
             source_of[v] = cand_s[v]
             parent[v] = cand_p[v]
+            if rec is not None:
+                rec.commit(cand_p[v], v)
             cand_d[v] = INF
             frontier.append(v)
     rounds = congestion_rounds(per_iter_words, capacity_words)
@@ -389,10 +397,16 @@ def _multi_source_dense(view, graph: WeightedGraph,
                 by_source.setdefault(s, []).append(u)
         sampled = frontier_neighbors(view, [u for u, _s in frontier])
         changed_of: Dict[int, List[int]] = {}
+        rec = _recording.active()
         for s in sorted(by_source):
             row = rows[s]
+            # kernel recording is suppressed: a winner the join rejects
+            # is not support (join rules are antitone in the distance,
+            # so a heavier candidate stays rejected) — only applied
+            # updates are recorded, mirroring the reference path
             targets, dists, vias = relax_frontier(view, row,
-                                                  by_source[s])
+                                                  by_source[s],
+                                                  record=False)
             for t, nd, via in zip(targets, dists, vias):
                 t = int(t)
                 nd = float(nd)
@@ -400,6 +414,8 @@ def _multi_source_dense(view, graph: WeightedGraph,
                     row[t] = nd
                     dist[t][s] = nd
                     parent[t][s] = int(via)
+                    if rec is not None:
+                        rec.commit(int(via), t)
                     changed_of.setdefault(t, []).append(s)
         frontier = sorted(changed_of.items())
         for v in sampled:
@@ -471,6 +487,7 @@ def _multi_source_bucketed(graph: WeightedGraph,
                     if best is None or nd < best[0]:
                         bucket[s] = (nd, u)
         frontier = []
+        rec = _recording.active()
         for v in sorted(touched):
             bucket = buckets[v]
             buckets[v] = None
@@ -481,6 +498,12 @@ def _multi_source_bucketed(graph: WeightedGraph,
                 if nd < dv.get(s, INF) and join(v, s, nd):
                     dv[s] = nd
                     pv[s] = via
+                    if rec is not None:
+                        # only applied updates are support: a bucket
+                        # winner the dist/join checks reject stays
+                        # rejected when its edge gets heavier (join
+                        # rules are antitone in the distance)
+                        rec.commit(via, v)
                     changed.append(s)
             if changed:
                 frontier.append((v, changed))

@@ -525,7 +525,8 @@ def build_forest_routing(trees: Dict[int, RootedTree],
                          port_of: Optional[PortFunction] = None,
                          capacity_words: int = 2,
                          gamma: Optional[float] = None,
-                         engine: Optional[str] = None
+                         engine: Optional[str] = None,
+                         reuse_lookup=None
                          ) -> ForestRoutingReport:
     """Build the scheme for every tree with one shared splitter sample.
 
@@ -533,6 +534,17 @@ def build_forest_routing(trees: Dict[int, RootedTree],
     forest charges are analytic (Remark 3) so both backends yield the
     same ledger, but the parameter keeps backend selection uniform
     across the pipeline for callers and future literal executions.
+
+    ``reuse_lookup(tree_id, tree, splitters)`` may return a previously
+    built :class:`DistributedTreeRouting` to substitute for building
+    that tree, or ``None`` to build normally.  The caller owns the
+    proof obligation: a substituted scheme must have been produced
+    from *exactly equal inputs* (same tree shape in the same iteration
+    order, same splitter sample, same port function) — the builder is
+    a deterministic pure function of those, so equal inputs make the
+    substitution bit-exact.  Used by the incremental control plane
+    (:mod:`repro.dynamic`); the ledger below is recomputed from the
+    final scheme set either way, so charges stay identical too.
 
     Implements Remark 3's accounting: with overlap ``s`` (trees per
     vertex) and ``γ = sqrt(n/s)`` splitters, random start times stagger
@@ -544,7 +556,8 @@ def build_forest_routing(trees: Dict[int, RootedTree],
     return _forest_routing(trees, num_graph_vertices, rng,
                            build_distributed_tree_routing,
                            bfs_tree=bfs_tree, port_of=port_of,
-                           capacity_words=capacity_words, gamma=gamma)
+                           capacity_words=capacity_words, gamma=gamma,
+                           reuse_lookup=reuse_lookup)
 
 
 def build_forest_routing_reference(trees: Dict[int, RootedTree],
@@ -576,7 +589,8 @@ def _forest_routing(trees: Dict[int, RootedTree],
                     bfs_tree: Optional[BFSTree] = None,
                     port_of: Optional[PortFunction] = None,
                     capacity_words: int = 2,
-                    gamma: Optional[float] = None
+                    gamma: Optional[float] = None,
+                    reuse_lookup=None
                     ) -> ForestRoutingReport:
     n = max(num_graph_vertices, 2)
     overlap = [0] * num_graph_vertices
@@ -592,7 +606,11 @@ def _forest_routing(trees: Dict[int, RootedTree],
 
     schemes: Dict[int, DistributedTreeRouting] = {}
     for tree_id, tree in trees.items():
-        schemes[tree_id] = tree_builder(tree, splitters, port_of=port_of)
+        cached = None
+        if reuse_lookup is not None:
+            cached = reuse_lookup(tree_id, tree, splitters)
+        schemes[tree_id] = cached if cached is not None \
+            else tree_builder(tree, splitters, port_of=port_of)
 
     ledger = CostLedger()
     height = bfs_tree.height if bfs_tree is not None else 0

@@ -1,0 +1,373 @@
+"""Incremental rebuilds: the cheapest *sound* path to a fresh artifact.
+
+:class:`IncrementalBuilder` consumes the pending :class:`ChangeBatch`
+of a :class:`~repro.dynamic.TopologyFeed` and produces the same
+``(CompiledScheme, DenseRoutingPlane)`` pair a from-scratch
+``SchemePipeline.build()`` + ``compile()`` would produce on the mutated
+graph — **bit for bit**.  Four strategies, tried cheapest first, each
+with an explicit soundness argument; anything unproven falls back to a
+full rebuild (the fallback rate is tracked and reported honestly):
+
+``reuse``
+    The current fingerprint matches a cached build — either the batch
+    was net-zero (weight flaps cancelled out) or churn revisited a
+    previously built topology (e.g. a failed-and-restored weight spike,
+    the flap-dampening pattern real control planes see constantly).
+    *Sound because* the fingerprint covers the entire build input —
+    vertex count, edge set, weights **and adjacency insertion order**
+    (see :func:`~repro.dynamic.feed.graph_fingerprint`) — and the whole
+    pipeline is a deterministic function of that input plus the frozen
+    parameters: equal fingerprint ⇒ a scratch build would be
+    byte-identical to the cached one.
+
+``compile-only``
+    Weight increases confined to edges with **zero recorded commits**
+    in the previous build's support transcript, with the graph's max
+    weight unchanged.  The construction objects are reused untouched;
+    only the flat + dense artifacts are recompiled (compilation reads
+    tree-parent edge weights from the live graph, so the new weights
+    land in the tables).  *Sound because* every relaxation the
+    construction ever applied was committed to the
+    :class:`~repro.graphs.recording.SupportRecorder` at the kernel —
+    an edge with no commit anywhere was never a winning edge in any
+    exploration at any scale, hence contributed no value and no
+    decision anywhere in the transcript, and a weight *increase* on a
+    never-winning edge cannot create a new winner retroactively in the
+    already-fixed transcript the scratch build would replay.  (The max-
+    weight guard pins the scale grid, the one global weight-derived
+    parameter.)  Tree edges always carry commits (tree parents arise
+    from winning relaxations), so a certified edge is never a tree
+    edge and the reused scheme's structure is exactly what scratch
+    would rebuild.
+
+``partial``
+    Any other weight-only batch: rerun the cluster phase from scratch
+    (sound by construction — it sees the new weights), rebuild the
+    forest but substitute the previous per-tree scheme wherever the
+    inputs are **provably unchanged** (identical tree shape in
+    identical iteration order, identical splitter sample, weight-only
+    batch so the port function is untouched), reassemble and recompile.
+    *Sound because* the per-tree builder is a deterministic pure
+    function of (tree, splitters, port_of): equal inputs make the
+    substituted scheme equal to the one scratch would build, and the
+    forest ledger is recomputed from the final scheme set either way.
+
+``full``
+    Everything else — topology edits (failures, restores, node
+    failures: adjacency order and ports may shift), weight decreases,
+    uncertified increases.  A plain from-scratch build.
+
+Every strategy ends in the same place: a cache entry keyed by the new
+fingerprint holding construction + compiled artifacts + the support
+transcript, ready to be served, registered, or reused by a later flap.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core import DenseRoutingPlane
+from ..core.compiled import CompiledScheme
+from ..core.tree_routing import ForestRoutingReport, build_forest_routing
+from ..exceptions import ParameterError
+from ..graphs.recording import SupportRecorder, recording
+from ..pipeline import _run_construction
+from .feed import ChangeBatch, TopologyFeed
+
+#: The strategies, cheapest first (also the order they are attempted).
+STRATEGIES = ("reuse", "compile-only", "partial", "full")
+
+
+@dataclass
+class BuildEntry:
+    """One fully built topology state: everything needed to serve it,
+    re-certify against it, or reuse pieces of it."""
+
+    fingerprint: str
+    construction: "ConstructionReport"
+    compiled: CompiledScheme
+    dense: DenseRoutingPlane
+    recorder: Optional[SupportRecorder]
+    max_weight: int
+    splitter_sample: Tuple[int, ...]
+
+    @property
+    def forest(self) -> ForestRoutingReport:
+        return self.construction.scheme.forest
+
+    @property
+    def rounds(self) -> int:
+        return self.construction.rounds
+
+
+@dataclass
+class RebuildReport:
+    """What one :meth:`IncrementalBuilder.rebuild` call did and cost."""
+
+    strategy: str                 #: "initial" or one of STRATEGIES
+    fingerprint: str
+    duration_s: float
+    entry: BuildEntry = field(repr=False)
+    batch: Optional[ChangeBatch] = None
+    fallback_reason: Optional[str] = None
+    reused_trees: int = 0
+    rebuilt_trees: int = 0
+    cache_hit: bool = False
+
+    # -- passthroughs ---------------------------------------------------
+    @property
+    def compiled(self) -> CompiledScheme:
+        return self.entry.compiled
+
+    @property
+    def dense(self) -> DenseRoutingPlane:
+        return self.entry.dense
+
+    @property
+    def construction(self):
+        return self.entry.construction
+
+    @property
+    def rounds(self) -> int:
+        return self.entry.rounds
+
+    def summary(self) -> str:
+        line = (f"strategy={self.strategy} "
+                f"duration={self.duration_s * 1e3:.1f}ms "
+                f"fingerprint={self.fingerprint[:12]}")
+        if self.batch is not None:
+            line += f" batch=[{self.batch.summary()}]"
+        if self.fallback_reason:
+            line += f" fallback={self.fallback_reason!r}"
+        if self.reused_trees or self.rebuilt_trees:
+            line += (f" trees={self.reused_trees} reused /"
+                     f" {self.rebuilt_trees} rebuilt")
+        return line
+
+
+class IncrementalBuilder:
+    """Rebuild the scheme after feed mutations, as cheaply as soundness
+    allows.
+
+    >>> feed = TopologyFeed(graph)
+    >>> builder = IncrementalBuilder(feed, k=3, seed=7)
+    >>> initial = builder.build()            # full build, cached
+    >>> feed.update_edge_weight(4, 9, 60)
+    >>> report = builder.rebuild()           # picks a strategy
+    >>> report.strategy, report.compiled     # bit-identical to scratch
+
+    Construction parameters are frozen at the builder (they are part of
+    the determinism argument — every strategy compares against "scratch
+    with these exact parameters").  ``cache_size`` bounds the
+    fingerprint-keyed LRU of built states; churn that revisits a cached
+    topology is served from it (the ``reuse`` strategy).
+    """
+
+    def __init__(self, feed: TopologyFeed, k: int, seed: int = 0,
+                 eps: float = 0.0, detection_mode: str = "rounded",
+                 capacity_words: int = 2, use_tz_trick: bool = True,
+                 engine: Optional[str] = None,
+                 cache_size: int = 8) -> None:
+        if cache_size < 1:
+            raise ParameterError(
+                f"cache_size must be >= 1, got {cache_size}")
+        self.feed = feed
+        self._params = dict(k=k, seed=seed, eps_override=eps,
+                            detection_mode=detection_mode,
+                            capacity_words=capacity_words,
+                            use_tz_trick=use_tz_trick, engine=engine)
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[str, BuildEntry]" = OrderedDict()
+        self._current: Optional[BuildEntry] = None
+        self._counts: Dict[str, int] = {s: 0 for s in STRATEGIES}
+        self._counts["initial"] = 0
+
+    # -- public API -----------------------------------------------------
+    @property
+    def current(self) -> Optional[BuildEntry]:
+        """The entry matching the feed's last-rebuilt baseline."""
+        return self._current
+
+    def build(self) -> RebuildReport:
+        """Ensure an initial build exists (full build on first call;
+        afterwards equivalent to :meth:`rebuild`)."""
+        if self._current is None:
+            start = time.perf_counter()
+            entry = self._full_build()
+            report = RebuildReport(
+                strategy="initial", fingerprint=entry.fingerprint,
+                duration_s=time.perf_counter() - start, entry=entry)
+            self._install(entry, "initial")
+            return report
+        return self.rebuild()
+
+    def rebuild(self) -> RebuildReport:
+        """Process the feed's pending batch into a fresh build entry.
+
+        Always leaves ``current`` matching the live graph and resets
+        the feed baseline; the returned report says which strategy ran
+        and, on fallback, why.
+        """
+        if self._current is None:
+            return self.build()
+        start = time.perf_counter()
+        batch = self.feed.pending()
+        fp = self.feed.fingerprint()
+        strategy, entry, reason, reused, rebuilt, hit = \
+            self._dispatch(batch, fp)
+        self._install(entry, strategy)
+        return RebuildReport(
+            strategy=strategy, fingerprint=fp,
+            duration_s=time.perf_counter() - start, entry=entry,
+            batch=batch, fallback_reason=reason,
+            reused_trees=reused, rebuilt_trees=rebuilt, cache_hit=hit)
+
+    def stats(self) -> Dict[str, object]:
+        """Strategy counters and the honest fallback rate (full
+        rebuilds over all post-initial rebuilds)."""
+        total = sum(self._counts[s] for s in STRATEGIES)
+        return {
+            "rebuilds": total,
+            "by_strategy": dict(self._counts),
+            "fallback_rate": (self._counts["full"] / total) if total
+            else 0.0,
+            "cache_entries": len(self._cache),
+        }
+
+    # -- strategy dispatch ----------------------------------------------
+    def _dispatch(self, batch: ChangeBatch, fp: str):
+        """Returns (strategy, entry, fallback_reason, reused, rebuilt,
+        cache_hit)."""
+        cached = self._cache.get(fp)
+        if cached is not None:
+            self._cache.move_to_end(fp)
+            return ("reuse", cached, None, 0, 0,
+                    fp != self._current.fingerprint)
+
+        if batch.topology_changed:
+            return ("full", self._full_build(), "topology-changed",
+                    0, 0, False)
+
+        prev = self._current
+        if batch.increase_only:
+            reason = self._certify_increases(batch, prev)
+            if reason is None:
+                entry = self._compile_only(prev, fp)
+                return ("compile-only", entry, None, 0, 0, False)
+        else:
+            reason = "weight-decrease-present"
+
+        entry, reused, rebuilt = self._partial_build(prev)
+        return ("partial", entry, reason, reused, rebuilt, False)
+
+    def _certify_increases(self, batch: ChangeBatch,
+                           prev: BuildEntry) -> Optional[str]:
+        """None when every net increase is provably invisible to the
+        previous build transcript; otherwise the reason it is not."""
+        if prev.recorder is None:
+            return "no-support-transcript"
+        if self.feed.graph.max_weight() != prev.max_weight:
+            return "max-weight-changed"
+        for u, v, base, cur in batch.net:
+            if not prev.recorder.certifies_increase(u, v, base, cur):
+                return f"edge-({u},{v})-in-support"
+        return None
+
+    # -- strategy implementations ---------------------------------------
+    def _full_build(self) -> BuildEntry:
+        builder, capture = self._forest_capture(prev=None)
+        recorder = SupportRecorder()
+        with recording(recorder):
+            construction = _run_construction(
+                self.feed.graph, forest_builder=builder, **self._params)
+        return self._finish_entry(construction, recorder,
+                                  capture["splitters"])
+
+    def _compile_only(self, prev: BuildEntry, fp: str) -> BuildEntry:
+        # Same construction objects; compile() is uncached by design,
+        # so both tiers pick up the live graph's new tree-parent
+        # weights.  The support transcript is unchanged too — the
+        # certified edges never appeared in it, so the replayed build
+        # would commit exactly the same pairs.
+        compiled = prev.construction.scheme.compile()
+        return BuildEntry(fingerprint=fp,
+                          construction=prev.construction,
+                          compiled=compiled,
+                          dense=DenseRoutingPlane.from_compiled(compiled),
+                          recorder=prev.recorder,
+                          max_weight=prev.max_weight,
+                          splitter_sample=prev.splitter_sample)
+
+    def _partial_build(self, prev: BuildEntry):
+        builder, capture = self._forest_capture(prev=prev)
+        recorder = SupportRecorder()
+        with recording(recorder):
+            construction = _run_construction(
+                self.feed.graph, forest_builder=builder, **self._params)
+        entry = self._finish_entry(construction, recorder,
+                                   capture["splitters"])
+        stats = capture["stats"]
+        return entry, stats["reused"], stats["rebuilt"]
+
+    def _finish_entry(self, construction, recorder,
+                      splitter_sample) -> BuildEntry:
+        compiled = construction.scheme.compile()
+        return BuildEntry(fingerprint=self.feed.fingerprint(),
+                          construction=construction,
+                          compiled=compiled,
+                          dense=DenseRoutingPlane.from_compiled(compiled),
+                          recorder=recorder,
+                          max_weight=self.feed.graph.max_weight(),
+                          splitter_sample=splitter_sample)
+
+    def _forest_capture(self, prev: Optional[BuildEntry]):
+        """A ``forest_builder`` that (a) records the splitter sample of
+        the build it runs and (b), given a previous entry, substitutes
+        per-tree schemes whose inputs are exactly unchanged."""
+        capture = {"splitters": (), "stats": {"reused": 0, "rebuilt": 0}}
+        stats = capture["stats"]
+
+        def lookup(tree_id, tree, splitters):
+            sample = capture["splitters"]
+            if not sample:
+                sample = tuple(sorted(splitters))
+                capture["splitters"] = sample
+            if prev is None:
+                return None
+            if sample != prev.splitter_sample:
+                stats["rebuilt"] += 1
+                return None
+            old = prev.forest.schemes.get(tree_id)
+            if old is None or not _same_tree(old.tree, tree):
+                stats["rebuilt"] += 1
+                return None
+            stats["reused"] += 1
+            return old
+
+        def builder(trees, num_graph_vertices, rng, **kwargs):
+            return build_forest_routing(trees, num_graph_vertices, rng,
+                                        reuse_lookup=lookup, **kwargs)
+
+        return builder, capture
+
+    def _install(self, entry: BuildEntry, strategy: str) -> None:
+        self._cache[entry.fingerprint] = entry
+        self._cache.move_to_end(entry.fingerprint)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        self._current = entry
+        self._counts[strategy] += 1
+        self.feed.mark_rebuilt()
+
+
+def _same_tree(a, b) -> bool:
+    """Exact equality of two rooted trees *including parent-map
+    iteration order* — the strictest notion, because downstream scans
+    iterate the parent map in insertion order and the reuse proof needs
+    the builder inputs literally equal, not just isomorphic."""
+    return (a.root == b.root
+            and list(a.parent_items()) == list(b.parent_items()))

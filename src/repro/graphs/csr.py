@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from . import recording as _recording
 from .weighted_graph import WeightedGraph
 
 try:  # vectorized kernel when numpy is present
@@ -138,8 +139,9 @@ def csr_view(graph: WeightedGraph) -> CSRView:
 # Scatter-min relaxation
 # ----------------------------------------------------------------------
 def relax_frontier(view: CSRView, dist_row, frontier: Sequence[int],
-                   weights=None) -> Tuple[Sequence[int], Sequence[float],
-                                          Sequence[int]]:
+                   weights=None, unit=None, record=True
+                   ) -> Tuple[Sequence[int], Sequence[float],
+                              Sequence[int]]:
     """One Bellman–Ford hop from ``frontier`` over ``view``.
 
     Returns ``(targets, dists, vias)`` — the strictly improving
@@ -152,13 +154,19 @@ def relax_frontier(view: CSRView, dist_row, frontier: Sequence[int],
     (first strict minimum over a sorted frontier scan).
 
     ``weights`` substitutes a parallel weight array (e.g. the per-scale
-    rounded weights of source detection); ``dist_row`` may be a list or
-    a numpy ``float64`` row — the kernel picks the vectorized gather
-    only when the view is numpy-backed and the frontier is large enough
-    to amortize it.
+    rounded weights of source detection), and ``unit`` declares the
+    rounding unit those weights were derived under (``None`` = raw) —
+    consumed only by support recording (:mod:`repro.graphs.recording`);
+    ``record=False`` suppresses that recording for callers that filter
+    winners through a join predicate and record the survivors
+    themselves;
+    ``dist_row`` may be a list or a numpy ``float64`` row — the kernel
+    picks the vectorized gather only when the view is numpy-backed and
+    the frontier is large enough to amortize it.
     """
     if weights is None:
         weights = view.weights
+    result = None
     if view.vectorized and dist_row is not None \
             and not isinstance(dist_row, list):
         indptr = view.indptr
@@ -169,9 +177,16 @@ def relax_frontier(view: CSRView, dist_row, frontier: Sequence[int],
         if total == 0:
             return (), (), ()
         if total >= _VECTOR_THRESHOLD:
-            return _relax_vector(view, dist_row, f, starts, counts,
-                                 total, weights)
-    return _relax_scalar(view, dist_row, frontier, weights)
+            result = _relax_vector(view, dist_row, f, starts, counts,
+                                   total, weights)
+    if result is None:
+        result = _relax_scalar(view, dist_row, frontier, weights)
+    if record:
+        rec = _recording.active()
+        if rec is not None and len(result[0]):
+            rec.commit_pairs(zip((int(v) for v in result[2]),
+                                 (int(t) for t in result[0])), unit)
+    return result
 
 
 def _gather_edge_indices(starts, counts, total):

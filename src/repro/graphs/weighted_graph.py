@@ -70,6 +70,31 @@ class WeightedGraph:
         self._adj[v][u] = weight
         self._version += 1
 
+    def update_edge_weight(self, u: int, v: int, weight: int) -> None:
+        """Change the weight of the *existing* edge ``{u, v}``.
+
+        The first-class mutation for dynamic-topology workloads: unlike
+        ``add_edge`` (which silently creates missing edges) this raises
+        :class:`GraphError` when the edge is absent, so a weight-update
+        feed can never invent topology.  Adjacency insertion order — and
+        therefore the CSR neighbor order and every derived port number —
+        is preserved.  A no-op update (same weight) still bumps
+        ``version``: derived views re-validate rather than guess.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        if not isinstance(weight, int) or isinstance(weight, bool):
+            raise InvalidWeightError(
+                f"edge weight must be an int, got {weight!r}")
+        if weight <= 0:
+            raise InvalidWeightError(
+                f"edge weight must be positive, got {weight}")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._version += 1
+
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}``; raise if absent."""
         self._check_vertex(u)

@@ -398,11 +398,17 @@ class SchemePipeline:
 def _run_construction(graph: WeightedGraph, k: int, seed: int,
                       eps_override: float, detection_mode: str,
                       capacity_words: int, use_tz_trick: bool,
-                      engine: Optional[str]) -> "ConstructionReport":
+                      engine: Optional[str],
+                      forest_builder=None) -> "ConstructionReport":
     """The full pipeline body (hierarchy → clusters → forest → tables).
 
     This is the implementation the deprecated ``construct_scheme``
     wrapper delegates to; the measured report is unchanged.
+
+    ``forest_builder`` substitutes the forest phase implementation
+    (same signature as :func:`build_forest_routing`); the incremental
+    control plane passes a wrapper that reuses per-tree schemes whose
+    inputs are provably unchanged.  Default is the normal builder.
     """
     from .core.scheme_builder import ConstructionReport
 
@@ -417,12 +423,14 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
     network = Network(graph, engine=engine)
     trees = {center: cluster.tree()
              for center, cluster in clusters.clusters.items()}
-    forest = build_forest_routing(trees, graph.num_vertices,
-                                  random.Random(seed + 1),
-                                  bfs_tree=clusters.bfs_tree,
-                                  port_of=network.port_of,
-                                  capacity_words=capacity_words,
-                                  engine=engine)
+    if forest_builder is None:
+        forest_builder = build_forest_routing
+    forest = forest_builder(trees, graph.num_vertices,
+                            random.Random(seed + 1),
+                            bfs_tree=clusters.bfs_tree,
+                            port_of=network.port_of,
+                            capacity_words=capacity_words,
+                            engine=engine)
     ledger.merge(forest.ledger)
 
     tables, labels = _assemble_tables_and_labels(clusters, forest)

@@ -83,12 +83,40 @@ class _Lane:
 
     def __init__(self, name, serve, max_pending):
         self.name = name
-        self.serve = serve          # blocking callable(pairs) -> list
+        #: blocking callable(pairs) -> (generation, results); rebound
+        #: atomically by an in-process hot swap
+        self.serve = serve
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
         self.task: Optional[asyncio.Task] = None
         #: unresolved submission futures, for drain(); each removes
         #: itself on completion
         self.pending: set = set()
+
+
+def _tagged_serve(backend, method: str, generation: int):
+    """A blocking ``callable(pairs) -> (generation, results)``.
+
+    Pool backends expose a generation-tagged validated entry point —
+    the pool's own counter is the attribution authority there, captured
+    under its serve lock.  Plain artifacts get a closure pinning the
+    broker-assigned ``generation``: a hot swap installs a *new* closure
+    (and artifact) atomically, so a window mid-dispatch keeps serving —
+    and reporting — the old generation while new windows pick up the
+    new one.  Dispatch goes through the backend's ``*_validated`` entry
+    point when it has one: the broker already ran the exact same
+    prepass per submission, so fused windows skip a second O(window)
+    validation sweep.
+    """
+    tagged = getattr(backend, f"_{method}_validated_tagged", None)
+    if tagged is not None:
+        return tagged
+    base = getattr(backend, f"_{method}_validated", None) \
+        or getattr(backend, method)
+
+    def serve(pairs):
+        return generation, base(pairs)
+
+    return serve
 
 
 class RequestBroker:
@@ -162,18 +190,17 @@ class RequestBroker:
         self._own = list(own)
         self._closed = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        # Dispatch through the backend's ``*_validated`` entry point
-        # when it has one (both artifacts and RouterPool do): the
-        # broker already ran the exact same prepass per submission, so
-        # fused windows skip a second O(window) validation sweep.
+        #: Routing-artifact generation as this broker knows it: the
+        #: backend pool's counter, or the broker's own for in-process
+        #: backends.  Bumped by :meth:`swap_router`.
+        self._router_generation = getattr(router, "generation", 0)
         self._lanes = {}
         if router is not None:
-            serve = getattr(router, "_route_many_validated",
-                            router.route_many)
+            serve = _tagged_serve(router, "route_many",
+                                  self._router_generation)
             self._lanes[_ROUTE] = _Lane(_ROUTE, serve, max_pending)
         if estimator is not None:
-            serve = getattr(estimator, "_estimate_many_validated",
-                            estimator.estimate_many)
+            serve = _tagged_serve(estimator, "estimate_many", 0)
             self._lanes[_ESTIMATE] = _Lane(_ESTIMATE, serve,
                                            max_pending)
         self.metrics = BrokerMetrics(
@@ -232,6 +259,70 @@ class RequestBroker:
                              ) -> List[float]:
         """A small client batch of distance estimates."""
         return await self._submit(_ESTIMATE, self._estimator, pairs)
+
+    # -- hot swap ------------------------------------------------------
+    @property
+    def router_generation(self) -> int:
+        """Generation of the routing artifact currently serving."""
+        return self._router_generation
+
+    async def swap_router(self, artifact) -> float:
+        """Hot-swap the routing artifact with zero dropped windows.
+
+        Returns the swap latency in seconds.  In-flight fused windows
+        complete on the old generation; every window dispatched after
+        the swap serves on the new one — no window ever mixes
+        generations (each window's serve callable and the pool's
+        artifact swap both switch atomically with respect to window
+        boundaries).  The swap and the windows share the broker's
+        single dispatch thread, so ordering is strictly FIFO: windows
+        queued before the swap drain first.
+
+        With a :class:`~repro.serving.RouterPool` backend this
+        delegates to :meth:`RouterPool.swap` (workers re-attach the new
+        artifact's shared buffers); with an in-process artifact it
+        atomically rebinds the lane to the new artifact.  Metrics
+        record the swap count, latency, and per-generation window
+        counts.
+        """
+        if self._closed:
+            raise ServingError("cannot swap the router of a closed "
+                               "broker")
+        lane = self._lanes.get(_ROUTE)
+        if lane is None:
+            raise ParameterError("this broker has no routing backend "
+                                 "to swap")
+        self._ensure_started()
+        loop = self._loop
+        router = self._router
+        if callable(getattr(router, "swap", None)):
+            # Pool backend: the pool swaps in place; the lane's serve
+            # callable (bound to the pool) stays valid, and the pool's
+            # generation counter is the attribution authority.  Runs on
+            # the broker's own dispatch thread, strictly FIFO with the
+            # fused windows.
+            latency = await loop.run_in_executor(
+                self._executor, router.swap, artifact)
+            generation = router.generation
+        else:
+            for name in ("route_many", "validate_pairs"):
+                if not callable(getattr(artifact, name, None)):
+                    raise ParameterError(
+                        f"swap_router needs an artifact with a "
+                        f"callable {name}(), got "
+                        f"{type(artifact).__name__}")
+            start = loop.time()
+            generation = self._router_generation + 1
+            # Atomic rebinds on the event-loop thread: _dispatch reads
+            # lane.serve on this same thread, so a window is either
+            # entirely old or entirely new.
+            lane.serve = _tagged_serve(artifact, "route_many",
+                                       generation)
+            self._router = artifact
+            latency = loop.time() - start
+        self._router_generation = generation
+        self.metrics.record_swap(latency, generation)
+        return latency
 
     # -- submission ----------------------------------------------------
     async def _submit(self, kind: str, backend, pairs) -> List:
@@ -349,7 +440,10 @@ class RequestBroker:
             fused.extend(sub.pairs)
         self.metrics.record_dispatch(len(fused))
         try:
-            results = await self._loop.run_in_executor(
+            # lane.serve is captured here, before the executor hop: an
+            # in-process swap rebinding it mid-window cannot split the
+            # window across artifacts.
+            generation, results = await self._loop.run_in_executor(
                 self._executor, lane.serve, fused)
         except Exception as exc:
             # Window-scoped failure: every submission in this window
@@ -359,6 +453,8 @@ class RequestBroker:
                     self.metrics.record_failure()
                     sub.future.set_exception(exc)
             return
+        if lane.name == _ROUTE:
+            self.metrics.record_window_generation(generation)
         offset = 0
         now = self._loop.time()
         for sub in live:

@@ -92,6 +92,13 @@ class BrokerMetrics:
         #: fused-batch size -> how many dispatches had exactly that many
         #: pairs; bounded by ``max_batch`` distinct keys.
         self.batch_size_hist: Dict[int, int] = {}
+        self.swaps = 0            #: successful artifact hot-swaps
+        self.generation = 0       #: routing-artifact generation gauge
+        #: artifact generation -> fused windows served entirely by it;
+        #: every window lands on exactly one generation (the zero-
+        #: downtime invariant), so these counts sum to ``dispatches``.
+        self.generation_windows: Dict[int, int] = {}
+        self.swap_latency = LatencyRecorder(window)
         self._queue_depth = queue_depth or (lambda: 0)
 
     # -- recording (event-loop thread only) ----------------------------
@@ -113,6 +120,16 @@ class BrokerMetrics:
 
     def record_cancelled(self) -> None:
         self.cancelled += 1
+
+    def record_swap(self, latency_seconds: float,
+                    generation: int) -> None:
+        self.swaps += 1
+        self.generation = generation
+        self.swap_latency.observe(latency_seconds)
+
+    def record_window_generation(self, generation: int) -> None:
+        self.generation_windows[generation] = \
+            self.generation_windows.get(generation, 0) + 1
 
     # -- reporting -----------------------------------------------------
     @property
@@ -139,4 +156,10 @@ class BrokerMetrics:
             "batch_size_hist": {str(k): v for k, v in
                                 sorted(self.batch_size_hist.items())},
             "latency": self.latency.summary(),
+            "swaps": self.swaps,
+            "generation": self.generation,
+            "generation_windows": {str(k): v for k, v in
+                                   sorted(
+                                       self.generation_windows.items())},
+            "swap_latency": self.swap_latency.summary(),
         }

@@ -311,7 +311,17 @@ class TrafficServer:
             fields.append(f"{kind}.n={n}")
         fields.append(f"max_batch={self.broker.max_batch}")
         fields.append(f"max_pairs={self._max_pairs}")
+        if self.broker.serves_routing:
+            fields.append(
+                f"generation={self.broker.router_generation}")
         return fields
+
+    async def swap_routing(self, artifact) -> float:
+        """Hot-swap the routing artifact the server's broker serves
+        (see :meth:`RequestBroker.swap_router`): connected clients
+        keep their connections, in-flight windows finish on the old
+        generation, and ``INFO`` reports the new one."""
+        return await self.broker.swap_router(artifact)
 
 
 class TrafficClient:

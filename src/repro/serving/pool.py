@@ -46,7 +46,12 @@ from ..exceptions import ParameterError, ServingError
 from . import columnar
 from .columnar import RESULT_TRANSPORTS
 from .sharding import resolve_policy
-from .shared import ArtifactHandle, attach_from_init, default_transport
+from .shared import (
+    ArtifactHandle,
+    attach_from_init,
+    default_transport,
+    numpy_available,
+)
 
 #: How long ``close()`` waits for workers to drain before terminating.
 _JOIN_TIMEOUT = 5.0
@@ -82,14 +87,58 @@ def _portable(exc: BaseException) -> BaseException:
                             f"{type(exc).__name__}): {exc}")
 
 
-def _serve_shards(artifact, task_q, result_q) -> None:
+#: Task-queue control message marking an artifact hot-swap (the other
+#: control message is the plain ``None`` shutdown sentinel).
+_SWAP = "__swap__"
+
+
+def _serve_shards(artifact, shm, task_q, result_q) -> None:
     """Serve shard tasks until the ``None`` sentinel.  Every serving
     exception is shipped back as that shard's result — a failing shard
-    fails one call, never the worker."""
+    fails one call, never the worker.
+
+    A ``(_SWAP, swap_id, init)`` control message replaces the served
+    artifact in place: the worker attaches the new transport, drops the
+    old artifact, closes its old segment mapping and acks with
+    ``("swapped", pid, swap_id)``.  The parent enqueues one swap
+    message per worker on the shared queue; a worker that already
+    handled this ``swap_id`` re-enqueues the message (with a short
+    sleep, so it does not immediately steal it back) for a sibling
+    still waiting — every worker acks exactly once.
+
+    Returns ``(artifact, shm)`` — the *currently attached* pair, which
+    swaps may have changed — so the caller tears down the right one.
+    """
+    seen_swaps = set()
     while True:
         task = task_q.get()
         if task is None:
-            return
+            return artifact, shm
+        if task[0] is _SWAP or task[0] == _SWAP:
+            _tag, swap_id, init = task
+            if swap_id in seen_swaps:
+                task_q.put(task)
+                time.sleep(0.002)
+                continue
+            seen_swaps.add(swap_id)
+            try:
+                new_artifact, new_shm = attach_from_init(init)
+            except BaseException as exc:
+                result_q.put(("swap-err", os.getpid(),
+                              (swap_id, _portable(exc))))
+                continue
+            old_shm = shm
+            # Drop the old artifact before closing its segment: its
+            # zero-copy arrays are views into the mapping.
+            artifact, shm = new_artifact, new_shm
+            del new_artifact
+            if old_shm is not None:
+                try:
+                    old_shm.close()
+                except BufferError:  # pragma: no cover - stray view
+                    pass
+            result_q.put(("swapped", os.getpid(), swap_id))
+            continue
         call_id, shard_id, method, pairs, kwargs, codec = task
         try:
             out = getattr(artifact, method)(pairs, **kwargs)
@@ -122,7 +171,9 @@ def _worker_main(init, task_q, result_q) -> None:
         return
     result_q.put(("ready", os.getpid(), None))
     try:
-        _serve_shards(artifact, task_q, result_q)
+        # Swaps may have replaced the attached pair; tear down whatever
+        # is current at sentinel time.
+        artifact, shm = _serve_shards(artifact, shm, task_q, result_q)
     finally:
         del artifact
         if shm is not None:
@@ -198,6 +249,11 @@ class RouterPool:
         self._task_q = None
         self._result_q = None
         self._call_counter = itertools.count()
+        self._swap_counter = itertools.count(1)
+        self._generation = 0
+        #: Set to an error string when a swap left workers on mixed
+        #: artifact generations; every serve fails fast from then on.
+        self._poisoned: Optional[str] = None
         # One batch in flight at a time: concurrent _serve calls would
         # steal each other's shard results off the shared result queue
         # and deadlock.  Caller threads serialize here; the batch
@@ -228,6 +284,7 @@ class RouterPool:
                 f"choose from {list(RESULT_TRANSPORTS)}")
         self._result_transport = result_transport
         self._shards_per_worker = int(shards_per_worker)
+        self._materialize = materialize
         self._artifact = artifact
         self._policy_name = policy
         self._policy = resolve_policy(policy)
@@ -327,6 +384,27 @@ class RouterPool:
         return self._serve("_estimate_many_validated", pairs, {},
                            CompiledEstimation)
 
+    def route_many_tagged(self, pairs: Sequence[Tuple[int, int]],
+                          max_hops: Optional[int] = None
+                          ) -> Tuple[int, List]:
+        """:meth:`route_many` returning ``(generation, results)``.
+
+        The generation is captured under the serve lock, so every
+        result in the batch is attributable to exactly that artifact
+        generation — the invariant the hot-swap tests pin.
+        """
+        kwargs = {} if max_hops is None else {"max_hops": max_hops}
+        return self._serve("_route_many_validated", pairs, kwargs,
+                           (CompiledScheme, DenseRoutingPlane),
+                           tag_generation=True)
+
+    def estimate_many_tagged(self, pairs: Sequence[Tuple[int, int]]
+                             ) -> Tuple[int, List[float]]:
+        """:meth:`estimate_many` returning ``(generation, results)``
+        (see :meth:`route_many_tagged`)."""
+        return self._serve("_estimate_many_validated", pairs, {},
+                           CompiledEstimation, tag_generation=True)
+
     def _route_many_validated(self, pairs: Sequence[Tuple[int, int]],
                               max_hops: Optional[int] = None) -> List:
         """:meth:`route_many` minus the input prepass — the same
@@ -345,11 +423,33 @@ class RouterPool:
         return self._serve("_estimate_many_validated", pairs, {},
                            CompiledEstimation, validated=True)
 
+    def _route_many_validated_tagged(
+            self, pairs: Sequence[Tuple[int, int]],
+            max_hops: Optional[int] = None) -> Tuple[int, List]:
+        """Pre-validated + generation-tagged serve — what the async
+        broker dispatches fused windows through, so each window is
+        attributed to the artifact generation that actually served it."""
+        kwargs = {} if max_hops is None else {"max_hops": max_hops}
+        return self._serve("_route_many_validated", pairs, kwargs,
+                           (CompiledScheme, DenseRoutingPlane),
+                           validated=True, tag_generation=True)
+
+    def _estimate_many_validated_tagged(
+            self, pairs: Sequence[Tuple[int, int]]
+    ) -> Tuple[int, List[float]]:
+        """Estimation sibling of :meth:`_route_many_validated_tagged`."""
+        return self._serve("_estimate_many_validated", pairs, {},
+                           CompiledEstimation, validated=True,
+                           tag_generation=True)
+
     def _serve(self, method: str, pairs: Sequence, kwargs: dict,
-               required_cls, validated: bool = False) -> List:
+               required_cls, validated: bool = False,
+               tag_generation: bool = False) -> List:
         if self._closed:
             raise ServingError(
                 f"cannot call {method} on a closed RouterPool")
+        if self._poisoned is not None:
+            raise ServingError(self._poisoned)
         # Fail fast on a degraded pool: surviving workers *could* steal
         # a dead sibling's shards off the shared queue, but serving at
         # reduced capacity silently is worse than telling the caller.
@@ -378,9 +478,24 @@ class RouterPool:
             index = operator.index
             pairs = [(index(u), index(v)) for u, v in pairs]
         if len(pairs) == 0:
-            return []
+            return (self._generation, []) if tag_generation else []
         with self._serve_lock:
-            return self._dispatch(method, pairs, kwargs)
+            # Re-check under the lock: close() (and swap failure) tear
+            # down while *holding* it, so a call that raced past the
+            # fast checks above and then won the lock afterwards must
+            # not touch the dismantled queues.
+            if self._closed:
+                raise ServingError(
+                    f"cannot call {method} on a closed RouterPool")
+            if self._poisoned is not None:
+                raise ServingError(self._poisoned)
+            results = self._dispatch(method, pairs, kwargs)
+            if tag_generation:
+                # Captured under the lock: swaps serialize on it, so
+                # the whole batch was served by exactly this
+                # generation.
+                return (self._generation, results)
+            return results
 
     def _dispatch(self, method: str, pairs: Sequence,
                   kwargs: dict) -> List:
@@ -451,6 +566,93 @@ class RouterPool:
             if tag == "ready":
                 pending -= 1
 
+    # -- hot swap ------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Artifact generation counter: ``0`` for the artifact the pool
+        opened with, ``+1`` per successful :meth:`swap`."""
+        return self._generation
+
+    def swap(self, artifact) -> float:
+        """Atomically replace the served artifact in every worker.
+
+        Returns the swap latency in seconds.  The swap serializes with
+        serving on the pool's one-batch-at-a-time lock, which is the
+        whole zero-downtime argument: any batch dispatched before the
+        swap completes entirely on the old artifact, any batch after
+        it entirely on the new one — no batch ever sees both, and
+        :meth:`route_many_tagged` exposes which generation served it.
+
+        The new artifact ships over the pool's transport, except
+        ``inherit`` pools: fork-time inheritance cannot reach workers
+        that already exist, so swaps fall back to ``shm``/``pickle``
+        (attach-time only; serving stays as materialized as before).
+        Once every worker acks, the old transport is released (the old
+        shared-memory segment unlinks) and the generation counter
+        bumps.
+
+        A worker failing to attach mid-swap leaves the pool on mixed
+        generations; it is **poisoned** — every later call raises
+        :class:`~repro.exceptions.ServingError` — and must be closed.
+        """
+        if self._closed:
+            raise ServingError("cannot swap a closed RouterPool")
+        if self._poisoned is not None:
+            raise ServingError(self._poisoned)
+        if not isinstance(artifact, (CompiledScheme,
+                                     DenseRoutingPlane,
+                                     CompiledEstimation)):
+            raise ParameterError(
+                "RouterPool.swap takes a compiled artifact "
+                "(CompiledScheme/DenseRoutingPlane/"
+                "CompiledEstimation), got "
+                f"{type(artifact).__name__}")
+        routing = (CompiledScheme, DenseRoutingPlane)
+        if isinstance(artifact, routing) != \
+                isinstance(self._artifact, routing):
+            raise ParameterError(
+                f"cannot swap a {type(artifact).__name__} into a "
+                f"pool serving a {type(self._artifact).__name__}: "
+                "the route/estimate surface would change under the "
+                "callers")
+        transport = self._transport_name
+        if transport == "inherit":
+            transport = "shm" if numpy_available() else "pickle"
+        start = time.perf_counter()
+        with self._serve_lock:
+            if self._closed:
+                raise ServingError("cannot swap a closed RouterPool")
+            self._check_liveness()
+            new_handle = ArtifactHandle(artifact, transport,
+                                        self._start_method,
+                                        materialize=self._materialize)
+            try:
+                swap_id = next(self._swap_counter)
+                for _ in self._procs:
+                    self._task_q.put((_SWAP, swap_id, new_handle.init))
+                acked = set()
+                while len(acked) < len(self._procs):
+                    tag, who, payload = self._next_result()
+                    if tag == "swapped" and payload == swap_id:
+                        acked.add(who)
+                    elif tag == "swap-err" and payload[0] == swap_id:
+                        raise ServingError(
+                            f"worker pid {who} failed to attach the "
+                            "new artifact during swap"
+                        ) from payload[1]
+            except BaseException as exc:
+                self._poisoned = (
+                    "RouterPool is poisoned: a hot swap failed midway "
+                    f"({exc}); workers may serve mixed artifact "
+                    "generations — close the pool")
+                new_handle.close()
+                raise
+            old_handle, self._handle = self._handle, new_handle
+            old_handle.close()
+            self._artifact = artifact
+            self._generation += 1
+        return time.perf_counter() - start
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         """Deterministic shutdown; idempotent, exception-safe.
@@ -461,11 +663,22 @@ class RouterPool:
         memory segment).  After ``close()``,
         ``multiprocessing.active_children()`` contains none of the
         pool's workers and the shm name no longer resolves.
+
+        ``close()`` serializes with in-flight serving: it marks the
+        pool closed (new calls fail fast), then waits on the serve
+        lock, so a batch already dispatched completes — results,
+        errors and all — before any queue or worker is torn down.  It
+        used to race that dispatch and could yank the queues out from
+        under a caller mid-batch.
         """
         if self._closed:
             return
         self._closed = True
         _OPEN_POOLS.discard(self)
+        with self._serve_lock:
+            self._teardown()
+
+    def _teardown(self) -> None:
         if self._task_q is not None:
             for _ in self._procs:
                 try:

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..congest.bfs import BFSTree
 from ..exceptions import ParameterError
+from ..graphs import recording as _recording
 from ..graphs.csr import CSRView, csr_view, relax_frontier
 from ..graphs.shortest_paths import INF
 from ..graphs.weighted_graph import WeightedGraph
@@ -246,7 +247,7 @@ def _scale_units(eps_internal: float, hop_bound: int,
 
 
 def _advance_matrix_np(view: CSRView, dist, par, hop_bound: int,
-                       weights, sources) -> None:
+                       weights, sources, unit=None) -> None:
     """``hop_bound`` hops of one scale's ``|V'| × n`` matrix, vectorized.
 
     One *union* frontier drives every row: relaxing a row from a vertex
@@ -316,13 +317,18 @@ def _advance_matrix_np(view: CSRView, dist, par, hop_bound: int,
         grows = active[rows_i]
         dist[grows, targets[cols_i]] = mins[rows_i, cols_i]
         par[grows, targets[cols_i]] = vias[rows_i, cols_i]
+        rec = _recording.active()
+        if rec is not None:
+            rec.commit_pairs(
+                zip(vias[rows_i, cols_i].tolist(),
+                    targets[cols_i].tolist()), unit)
         touched = _np.zeros(targets.size, dtype=bool)
         touched[cols_i] = True
         frontier = targets[touched]        # targets ascending already
 
 
 def _advance_rows_py(view: CSRView, rows, parents, hop_bound: int,
-                     weights, sources) -> None:
+                     weights, sources, unit=None) -> None:
     """The same matrix advance on list rows (no-numpy fallback).
 
     Rows keep their own frontiers here: without vectorization the union
@@ -336,7 +342,7 @@ def _advance_rows_py(view: CSRView, rows, parents, hop_bound: int,
                 continue
             active = True
             targets, dists, vias = relax_frontier(view, rows[r], frontier,
-                                                  weights)
+                                                  weights, unit=unit)
             row = rows[r]
             par = parents[r]
             for idx, t in enumerate(targets):
@@ -373,7 +379,7 @@ def _detect_vectorized(view: CSRView, source_list: List[int],
         par = _np.full((num_sources, n), -1, dtype=_np.int64)
         dist[rows_idx, src] = 0.0
         _advance_matrix_np(view, dist, par, hop_bound, weights,
-                           source_list)
+                           source_list, unit=unit)
         improved = dist < best
         best = _np.where(improved, dist, best)
         best_parent = _np.where(improved, par, best_parent)
@@ -449,7 +455,7 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
             for r, s in enumerate(source_list):
                 rows[r][s] = 0.0
             _advance_rows_py(view, rows, parents, hop_bound, weights,
-                             source_list)
+                             source_list, unit=unit)
             # merge: per (source, vertex), a strictly smaller scale
             # value wins (the reference's `dist[u] < best[u]` check).
             for r in range(num_sources):

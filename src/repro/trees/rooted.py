@@ -100,6 +100,14 @@ class RootedTree:
         except KeyError:
             raise SchemeError(f"vertex {v} not in tree") from None
 
+    def parent_items(self) -> Iterator[Tuple[int, Optional[int]]]:
+        """``(vertex, parent)`` pairs in the map's insertion order — the
+        iteration order every flat pass observes, so two trees with
+        equal ``parent_items()`` sequences are indistinguishable to
+        every consumer (the equality the incremental rebuild's reuse
+        proof needs)."""
+        return iter(self._parent.items())
+
     def children(self, v: int) -> List[int]:
         return list(self._children[v])
 

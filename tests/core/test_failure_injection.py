@@ -142,3 +142,78 @@ class TestRobustInputs:
         result = scheme.route(0, 19)
         assert result.path[-1] == 19
         assert result.stretch <= 4.0
+
+
+class TestCompiledTierFailures:
+    """The flat and dense serve-side tiers under the same discipline:
+    bad inputs and damaged artifacts must fail loudly and typed —
+    never segfault, hang, or serve garbage."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self, setup):
+        _graph, scheme = setup
+        return scheme.compile()
+
+    @pytest.fixture(scope="class")
+    def dense(self, compiled):
+        from repro.core import DenseRoutingPlane
+        return DenseRoutingPlane.from_compiled(compiled)
+
+    @pytest.fixture(params=["flat", "dense"])
+    def artifact(self, request, compiled, dense):
+        return compiled if request.param == "flat" else dense
+
+    def test_out_of_range_pairs_rejected(self, artifact):
+        from repro.exceptions import ParameterError
+        n = artifact.num_vertices
+        for bad in [(-1, 0), (0, n), (n + 7, 2), (0, -5)]:
+            with pytest.raises(ParameterError):
+                artifact.route_many([(0, 1), bad])
+
+    def test_malformed_pairs_rejected(self, artifact):
+        from repro.exceptions import ParameterError
+        with pytest.raises((ParameterError, TypeError, ValueError)):
+            artifact.route_many([(0, 1, 2)])
+        with pytest.raises((ParameterError, TypeError, ValueError)):
+            artifact.route_many([("a", "b")])
+
+    def test_truncated_payload_fails_loudly(self, artifact, tmp_path):
+        from repro.core import load_artifact
+        from repro.exceptions import ArtifactError
+        path = tmp_path / "artifact.cra"
+        artifact.save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) - len(blob) // 4])
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_truncated_header_fails_loudly(self, artifact, tmp_path):
+        from repro.core import load_artifact
+        from repro.exceptions import ArtifactError
+        path = tmp_path / "artifact.cra"
+        artifact.save(path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_corrupt_magic_fails_loudly(self, artifact, tmp_path):
+        from repro.core import load_artifact
+        from repro.exceptions import ArtifactError
+        path = tmp_path / "artifact.cra"
+        artifact.save(path)
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_round_trip_still_serves_after_failures(self, artifact,
+                                                    tmp_path):
+        """A clean save/load after the corruption probes serves the
+        same bits as the live artifact."""
+        from repro.core import load_artifact
+        path = tmp_path / "clean.cra"
+        artifact.save(path)
+        loaded = load_artifact(path)
+        pairs = [(0, artifact.num_vertices - 1), (3, 7), (5, 5)]
+        assert loaded.route_many(pairs) == artifact.route_many(pairs)

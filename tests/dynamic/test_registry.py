@@ -1,0 +1,149 @@
+"""ArtifactRegistry: generation numbering, manifest durability,
+pin/retire lifecycle, checksum verification."""
+
+import json
+
+import pytest
+
+from repro.core import DenseRoutingPlane
+from repro.dynamic import ArtifactRegistry, graph_fingerprint
+from repro.exceptions import ArtifactError, ParameterError
+from repro.pipeline import SchemePipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return SchemePipeline().workload("grid", 25).params(2).seed(3)
+
+
+@pytest.fixture(scope="module")
+def compiled(pipeline):
+    return pipeline.compile("flat")
+
+
+@pytest.fixture(scope="module")
+def dense(pipeline):
+    return pipeline.compile("dense")
+
+
+@pytest.fixture(scope="module")
+def estimation(pipeline):
+    return pipeline.compile_estimation()
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ArtifactRegistry(tmp_path / "reg")
+
+
+def payload_bytes(artifact):
+    return artifact.export_buffers().payload
+
+
+class TestPublish:
+
+    def test_publish_load_round_trip(self, registry, compiled):
+        record = registry.publish(compiled, note="first")
+        assert record.generation == 1
+        assert record.note == "first"
+        loaded = registry.load(1)
+        assert type(loaded) is type(compiled)
+        assert payload_bytes(loaded) == payload_bytes(compiled)
+
+    def test_generations_are_monotonic_and_persisted(self, registry,
+                                                     compiled, dense):
+        registry.publish(compiled)
+        registry.publish(dense)
+        registry.retire(1)
+        # reopening from disk must not reuse generation numbers, even
+        # after the earliest artifact was retired
+        reopened = ArtifactRegistry(registry.root)
+        record = reopened.publish(compiled)
+        assert record.generation == 3
+        assert [r.generation for r in
+                reopened.generations(include_retired=True)] == [1, 2, 3]
+
+    def test_publish_records_fingerprint(self, registry, compiled,
+                                         pipeline):
+        fp = graph_fingerprint(pipeline._resolve_graph())
+        registry.publish(compiled, fingerprint=fp)
+        registry.publish(compiled)  # no fingerprint
+        found = registry.find_fingerprint(fp)
+        assert [r.generation for r in found] == [1]
+        assert registry.find_fingerprint("no-such") == []
+
+    def test_kinds_tracked_separately(self, registry, compiled, dense,
+                                      estimation):
+        registry.publish(compiled)
+        registry.publish(dense)
+        registry.publish(estimation)
+        kinds = {r.kind for r in registry.generations()}
+        assert len(kinds) == 3
+        for record in registry.generations():
+            assert registry.latest(record.kind).generation == \
+                record.generation
+
+    def test_latest_skips_retired(self, registry, compiled):
+        registry.publish(compiled)
+        registry.publish(compiled)
+        registry.retire(2)
+        assert registry.latest().generation == 1
+        assert [r.generation for r in
+                registry.generations(include_retired=False)] == [1]
+
+
+class TestLifecycle:
+
+    def test_pin_blocks_retire(self, registry, compiled):
+        registry.publish(compiled)
+        registry.pin(1)
+        with pytest.raises(ArtifactError):
+            registry.retire(1)
+        registry.unpin(1)
+        record = registry.retire(1)
+        assert record.retired
+
+    def test_retire_deletes_payload_keeps_row(self, registry, compiled):
+        record = registry.publish(compiled)
+        path = registry.root / record.filename
+        assert path.exists()
+        registry.retire(1)
+        assert not path.exists()
+        assert registry.get(1).retired
+        with pytest.raises(ArtifactError):
+            registry.load(1)
+
+    def test_unknown_generation(self, registry):
+        with pytest.raises(ParameterError):
+            registry.get(99)
+
+
+class TestIntegrity:
+
+    def test_checksum_mismatch_detected(self, registry, compiled):
+        record = registry.publish(compiled)
+        path = registry.root / record.filename
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError):
+            registry.load(1)
+
+    def test_missing_payload_detected(self, registry, compiled):
+        record = registry.publish(compiled)
+        (registry.root / record.filename).unlink()
+        with pytest.raises(ArtifactError):
+            registry.load(1)
+
+    def test_bad_manifest_format_rejected(self, registry, compiled):
+        registry.publish(compiled)
+        manifest = json.loads(registry.manifest_path.read_text())
+        manifest["format"] = 999
+        registry.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError):
+            ArtifactRegistry(registry.root)
+
+    def test_empty_registry(self, registry):
+        assert len(registry) == 0
+        assert registry.latest() is None
+        assert registry.generations() == []

@@ -194,3 +194,74 @@ class TestFallbackKernel:
                             csr_module._np is not None)
         view = csr_view(graph)
         assert view.vectorized == (csr_module._np is not None)
+
+
+class TestUpdateEdgeWeight:
+    """`update_edge_weight` is the dynamic-feed mutation: it must obey
+    the same version/CSR-invalidation contract as add/remove, preserve
+    adjacency order (ports!), and never invent topology."""
+
+    def test_updates_weight_both_directions(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 3)
+        graph.update_edge_weight(1, 0, 7)  # either endpoint order
+        assert graph.weight(0, 1) == 7
+        assert graph.weight(1, 0) == 7
+
+    def test_missing_edge_raises_and_leaves_state(self):
+        from repro.exceptions import GraphError
+
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 2)
+        version = graph.version
+        with pytest.raises(GraphError):
+            graph.update_edge_weight(0, 2, 5)
+        assert graph.version == version
+        assert not graph.has_edge(0, 2)
+
+    def test_invalid_weight_rejected(self):
+        from repro.exceptions import InvalidWeightError
+
+        graph = WeightedGraph(2)
+        graph.add_edge(0, 1, 2)
+        for bad in (0, -3, 1.5, True, None):
+            with pytest.raises(InvalidWeightError):
+                graph.update_edge_weight(0, 1, bad)
+        assert graph.weight(0, 1) == 2
+
+    def test_version_bumps_even_for_noop(self):
+        graph = WeightedGraph(2)
+        graph.add_edge(0, 1, 4)
+        version = graph.version
+        graph.update_edge_weight(0, 1, 4)  # same weight
+        assert graph.version == version + 1
+        graph.update_edge_weight(0, 1, 5)
+        assert graph.version == version + 2
+
+    def test_invalidates_csr_view(self):
+        graph = random_connected(12, 0.3, seed=6)
+        before = csr_view(graph)
+        u, v, w = next(iter(graph.edges()))
+        graph.update_edge_weight(u, v, w + 3)
+        after = csr_view(graph)
+        assert after is not before
+        # and the refreshed view carries the new weight
+        for j in range(int(after.indptr[u]), int(after.indptr[u + 1])):
+            if int(after.indices[j]) == v:
+                assert int(after.weights[j]) == w + 3
+                break
+        else:  # pragma: no cover
+            raise AssertionError("edge missing from CSR view")
+
+    def test_preserves_adjacency_order(self):
+        """Unlike remove+add, a weight update must keep every
+        neighbor list order — port numbers derive from it."""
+        graph = random_connected(15, 0.3, seed=8)
+        order_before = {u: list(graph.neighbors(u))
+                        for u in graph.vertices()}
+        for u, v, w in list(graph.edges())[:6]:
+            graph.update_edge_weight(u, v, w + 10)
+        order_after = {u: list(graph.neighbors(u))
+                       for u in graph.vertices()}
+        assert order_after == order_before

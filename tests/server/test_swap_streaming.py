@@ -1,0 +1,226 @@
+"""Zero-downtime hot-swap under streaming load.
+
+The acceptance contract: across two or more hot-swaps with concurrent
+streaming clients, no request errors or is dropped, every response is
+bit-identical to the serving artifact of exactly one generation (never
+a mixed batch), and the metrics ledger attributes every dispatched
+window to the generation that served it."""
+
+import asyncio
+import random
+
+import pytest
+
+from server_helpers import chunks, run
+
+from repro.exceptions import ParameterError, ServingError
+from repro.pipeline import SchemePipeline
+from repro.server import RequestBroker, TrafficClient, TrafficServer
+from repro.serving import RouterPool
+
+
+_variants = {}
+
+
+def variant(bump):
+    """A compiled scheme for the same grid with perturbed weights, so
+    each generation's responses are distinguishable by value."""
+    if bump in _variants:
+        return _variants[bump]
+    base = SchemePipeline().workload("grid", 25).seed(3)
+    graph = base._resolve_graph().copy()
+    rng = random.Random(bump)
+    edges = sorted(graph.edges())
+    rng.shuffle(edges)
+    for u, v, w in edges[:len(edges) // 2]:
+        graph.update_edge_weight(u, v, w + rng.randrange(1, 40))
+    compiled = (SchemePipeline().graph(graph).params(2).seed(3)
+                .compile())
+    _variants[bump] = compiled
+    return compiled
+
+
+def expected_by_generation(compiled, query_pairs, client_batches):
+    """generation -> list of expected per-chunk results."""
+    artifacts = {0: compiled, 1: variant(1), 2: variant(2)}
+    table = {}
+    for gen, artifact in artifacts.items():
+        table[gen] = [artifact.route_many(chunk)
+                      for chunk in client_batches]
+    return artifacts, table
+
+
+def _attribute(results, per_chunk_expected):
+    """Map each chunk result to the single generation able to have
+    produced it (None = no generation matches, or ambiguity is fine
+    because all candidates agree)."""
+    matches = {gen for gen, exp in per_chunk_expected.items()
+               if results == exp}
+    return matches
+
+
+def run_streaming_swap_test(make_broker, compiled, query_pairs,
+                            swap_targets):
+    """Drive streaming clients against a broker while swapping
+    generations; returns (chunk attributions, metrics snapshot)."""
+    client_batches = chunks(query_pairs, 6)
+    artifacts, table = expected_by_generation(compiled, query_pairs,
+                                              client_batches)
+    # the attribution test is vacuous if generations agree everywhere
+    assert table[0] != table[1] and table[1] != table[2]
+
+    attributions = []
+    failures = []
+
+    async def streaming_client(broker, chunk_idx, stop):
+        chunk = client_batches[chunk_idx]
+        while not stop.is_set():
+            try:
+                got = await broker.route_batch(chunk)
+            except ServingError as exc:  # must never happen pre-close
+                failures.append(exc)
+                return
+            candidates = _attribute(
+                got, {g: table[g][chunk_idx] for g in table})
+            attributions.append((chunk_idx, candidates))
+
+    async def main():
+        broker = make_broker()
+        async with broker:
+            assert broker.router_generation == 0
+            stop = asyncio.Event()
+            clients = [asyncio.ensure_future(
+                streaming_client(broker, i, stop))
+                for i in range(len(client_batches))]
+            try:
+                await asyncio.sleep(0.05)
+                for target in swap_targets:
+                    latency = await broker.swap_router(
+                        artifacts[target])
+                    assert latency >= 0.0
+                    assert broker.router_generation == target
+                    await asyncio.sleep(0.05)
+            finally:
+                stop.set()
+                await asyncio.gather(*clients)
+            # post-swap steady state: newest generation serves
+            final = await broker.route_batch(client_batches[0])
+            assert final == table[swap_targets[-1]][0]
+            return broker.metrics.snapshot()
+
+    snapshot = run(main())
+    assert failures == []
+    return attributions, snapshot
+
+
+def check_invariants(attributions, snapshot, num_swaps):
+    assert len(attributions) > 0
+    for chunk_idx, candidates in attributions:
+        # every response is attributable to >= 1 generation; windows
+        # are never served by a mix (which would match none)
+        assert candidates, \
+            f"chunk {chunk_idx}: response matches no generation"
+    assert snapshot["swaps"] == num_swaps
+    assert snapshot["generation"] == num_swaps
+    windows = snapshot["generation_windows"]
+    assert sum(windows.values()) == snapshot["dispatches"]
+    assert snapshot["swap_latency"]["count"] == num_swaps
+
+
+def test_in_process_broker_two_swaps(compiled, estimation,
+                                     query_pairs):
+    def make_broker():
+        return RequestBroker(router=compiled, estimator=estimation,
+                             max_batch=16, max_wait_ms=0.5)
+
+    attributions, snapshot = run_streaming_swap_test(
+        make_broker, compiled, query_pairs, swap_targets=(1, 2))
+    check_invariants(attributions, snapshot, num_swaps=2)
+
+
+def test_pooled_broker_two_swaps(compiled, query_pairs, start_method):
+    pool = RouterPool(compiled, workers=2, start_method=start_method)
+
+    def make_broker():
+        return RequestBroker(router=pool, max_batch=16,
+                             max_wait_ms=0.5)
+
+    try:
+        attributions, snapshot = run_streaming_swap_test(
+            make_broker, compiled, query_pairs, swap_targets=(1, 2))
+    finally:
+        pool.close()
+    check_invariants(attributions, snapshot, num_swaps=2)
+    # the pool's own generation counter is the authority
+    assert snapshot["generation"] == 2
+
+
+def test_swap_rejects_wrong_artifact(compiled, estimation):
+    async def main():
+        broker = RequestBroker(router=compiled, estimator=estimation)
+        async with broker:
+            with pytest.raises(ParameterError):
+                await broker.swap_router(estimation)
+            with pytest.raises(ParameterError):
+                await broker.swap_router(object())
+            assert broker.router_generation == 0
+
+    run(main())
+
+
+def test_swap_on_estimation_only_broker_rejected(estimation):
+    async def main():
+        broker = RequestBroker(estimator=estimation)
+        async with broker:
+            with pytest.raises(ParameterError):
+                await broker.swap_router(variant(1))
+
+    run(main())
+
+
+def test_swap_after_close_raises(compiled):
+    async def main():
+        broker = RequestBroker(router=compiled)
+        async with broker:
+            pass
+        with pytest.raises(ServingError):
+            await broker.swap_router(variant(1))
+
+    run(main())
+
+
+def test_traffic_server_swap_routing(compiled, estimation,
+                                     query_pairs, expected_routes):
+    """End to end over TCP: a client streams while the server hot
+    swaps; INFO reports the live generation."""
+    chunk = query_pairs[:40]
+    expected = {0: expected_routes[:40],
+                1: variant(1).route_many(chunk)}
+
+    async def main():
+        broker = RequestBroker(router=compiled, estimator=estimation,
+                               max_batch=16, max_wait_ms=0.5)
+        async with TrafficServer(broker, port=0) as server:
+            async with await TrafficClient.connect(
+                    port=server.port) as client:
+                info = await client.info()
+                assert info["generation"] == "0"
+                seen = []
+
+                async def stream():
+                    for _ in range(30):
+                        seen.append(await client.route_batch(chunk))
+
+                task = asyncio.ensure_future(stream())
+                await asyncio.sleep(0.02)
+                latency = await server.swap_routing(variant(1))
+                assert latency >= 0.0
+                await task
+                info = await client.info()
+                assert info["generation"] == "1"
+                final = await client.route_batch(chunk)
+                assert final == expected[1]
+                for got in seen:
+                    assert got in (expected[0], expected[1])
+
+    run(main())

@@ -10,6 +10,7 @@ SIGKILLed worker — leaves behind worker processes
 import multiprocessing as mp
 import os
 import signal
+import threading
 import time
 
 import pytest
@@ -170,3 +171,117 @@ class TestWorkerDeath:
         monkeypatch.undo()
         after = {p.pid for p in mp.active_children()}
         assert after <= before
+
+
+class TestCloseServeRace:
+    """close() must not tear down transport state under an in-flight
+    dispatch.  The lock order is deterministic: whoever holds the
+    serve lock finishes; the other side then observes the final state
+    (completed results, or a fast ServingError — never a queue error
+    or a hang)."""
+
+    def test_close_waits_for_inflight_dispatch(self, case,
+                                               start_method):
+        """Deterministic interleaving: a serve holds the lock, close()
+        runs concurrently.  The serve must complete with correct
+        results; close() finishes afterwards."""
+        pool = RouterPool(case["compiled"], workers=2,
+                          start_method=start_method)
+        pairs = case["batches"]["random"]
+        results = {}
+        entered = threading.Event()
+
+        # Instrument _dispatch: it runs *inside* the serve lock, so
+        # the sleep deterministically holds the lock while close()
+        # contends for it.
+        real_dispatch = pool._dispatch
+
+        def instrumented(*args, **kwargs):
+            entered.set()
+            time.sleep(0.15)  # hold the serve window open
+            return real_dispatch(*args, **kwargs)
+
+        pool._dispatch = instrumented
+
+        def serve():
+            try:
+                results["routes"] = pool.route_many(pairs)
+            except ServingError as exc:
+                results["error"] = exc
+
+        t = threading.Thread(target=serve)
+        t.start()
+        assert entered.wait(5.0)
+        pool.close()  # must block until the dispatch drains
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert results.get("routes") == case["expected_routes"]["random"]
+        assert pool.closed
+
+    def test_serve_during_teardown_fails_fast(self, case,
+                                              start_method):
+        """While close() holds the serve lock for teardown, a new
+        serve call must raise ServingError immediately (the _closed
+        flag is set before the lock is taken) — not deadlock, not
+        touch half-torn-down queues."""
+        pool = RouterPool(case["compiled"], workers=2,
+                          start_method=start_method)
+        pool._serve_lock.acquire()  # simulate an in-flight dispatch
+        try:
+            closer = threading.Thread(target=pool.close)
+            closer.start()
+            # close() set _closed first, then blocked on the lock
+            deadline = time.monotonic() + 5.0
+            while not pool.closed and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool.closed
+            assert closer.is_alive()  # teardown still waiting on us
+            with pytest.raises(ServingError):
+                pool.route_many(case["batches"]["single"])
+        finally:
+            pool._serve_lock.release()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        _assert_shm_unlinked(pool.shm_name)
+
+    def test_concurrent_serves_and_close(self, case, start_method):
+        """Stress the race: many small batches from several threads
+        while close() fires.  Every call either completes with correct
+        results or raises ServingError — nothing leaks, nothing
+        hangs."""
+        pool = RouterPool(case["compiled"], workers=2,
+                          start_method=start_method)
+        pairs = case["batches"]["random"][:40]
+        expected = case["compiled"].route_many(pairs)
+        outcomes = []
+
+        def hammer():
+            for _ in range(50):
+                try:
+                    outcomes.append(pool.route_many(pairs) == expected)
+                except ServingError:
+                    outcomes.append(True)  # fast failure is fine
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        pool.close()
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+        assert all(outcomes)
+        _assert_gone(pool.pids if not pool.closed else [])
+
+    def test_close_then_serve_and_swap_fail_fast(self, case,
+                                                 start_method):
+        pool = RouterPool(case["compiled"], workers=2,
+                          start_method=start_method)
+        pool.close()
+        start = time.monotonic()
+        with pytest.raises(ServingError):
+            pool.route_many(case["batches"]["single"])
+        with pytest.raises(ServingError):
+            pool.swap(case["compiled"])
+        assert time.monotonic() - start < 1.0  # fail fast, no timeout
