@@ -8,18 +8,24 @@ after the CSR/scatter-min rewrite (PR 3):
   per-scale oracle (``detect_sources_reference``), in both execution
   modes.  Results are asserted bit-identical on every run — the speedup
   is never allowed to change semantics.
+* **cluster-growing** — the declarative :class:`repro.congest.JoinRule`
+  exploration (join compare fused into the flat scatter-min kernel,
+  PR 8) against the callback-predicate path it replaced, on the actual
+  level-0 center set and pivot thresholds of a real build.  Asserted
+  bit-identical per run, including rounds and overlap statistics.
 * **tree-construction** — flat one-pass forest construction
   (:func:`repro.core.build_forest_routing`) against the per-splitter
   subtree oracle (``build_forest_routing_reference``), on the actual
   cluster forest of a real build.
 * **pipeline** — end-to-end ``SchemePipeline.build()`` wall-clock per
-  detection mode, so the record tracks what the whole construction
-  costs after the phases above.
+  detection mode, plus the per-phase breakdown (pivots /
+  cluster-growing / detection / hopset / trees / setup) from the cost
+  ledger's wall-clock annotations.
 
 Emits a JSON record (``benchmarks/results/build_throughput.json``) so
 future PRs can track the trajectory.  The pytest-mode entry point
-asserts the acceptance floor: >= 3x on rounded-mode source detection
-with the numpy path.
+asserts the acceptance floors: >= 3x on rounded-mode source detection
+and >= 2.5x on rule-based cluster growing, both numpy-path only.
 
 Usage::
 
@@ -39,7 +45,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.congest import Network
+from repro.congest import (
+    JoinRule,
+    Network,
+    exploration_path_counts,
+    multi_source_exploration,
+    reset_exploration_path_counts,
+)
 from repro.core import (
     build_approx_clusters,
     build_forest_routing,
@@ -52,6 +64,23 @@ from repro.sketches import detect_sources, detect_sources_reference
 
 #: Acceptance floor for the rounded-mode detection phase (numpy path).
 REQUIRED_DETECTION_SPEEDUP = 3.0
+
+#: Acceptance floor for rule-based cluster growing vs the callback
+#: path, on both the deg-6 and deg-10 workloads (numpy path).
+REQUIRED_CLUSTER_SPEEDUP = 2.5
+
+#: Ledger-label prefix -> benchmark phase group, first match wins (the
+#: large-scale preprocess labels must shadow the ``large/`` growing
+#: phases).
+_BREAKDOWN_GROUPS = (
+    ("pivots/", "pivots"),
+    ("clusters/", "cluster-growing"),
+    ("large/preprocess-detection", "detection"),
+    ("large/preprocess-hopset", "hopset"),
+    ("large/", "cluster-growing"),
+    ("trees/", "trees"),
+    ("setup/", "setup"),
+)
 
 
 from bench_timing import best_of as _best_of
@@ -103,6 +132,67 @@ def _detection_phases(graph, repeats, density):
     return phases
 
 
+def _assert_exploration_identical(fast, ref):
+    assert fast.dist == ref.dist
+    assert fast.parent == ref.parent
+    assert fast.rounds == ref.rounds
+    assert fast.iterations == ref.iterations
+    assert fast.max_estimates_per_node == ref.max_estimates_per_node
+
+
+def _cluster_phase(graph, repeats, density, seed=1):
+    """Time rule-based vs callback-predicate cluster growing.
+
+    The workload is the real one: the level-0 center set and the
+    level-1 pivot thresholds of an actual build — the paper's rule (11)
+    join, evaluated either as a fused kernel compare (declarative
+    ``JoinRule``) or as the per-winner Python callback it replaced.
+    """
+    clusters = build_approx_clusters(graph, k=3, seed=seed,
+                                     detection_mode="exact")
+    centers = clusters.hierarchy.centers_at(0)
+    budget = clusters.params.exploration_budget(1)
+    thr = clusters.pivots[1].dist_hat
+    rule = JoinRule(threshold=thr)
+
+    def callback(v, s, d):
+        return d < thr[v]
+
+    t_ref, ref = _best_of(repeats, lambda: multi_source_exploration(
+        graph, centers, budget, callback))
+    reset_exploration_path_counts()
+    t_fast, fast = _best_of(repeats, lambda: multi_source_exploration(
+        graph, centers, budget, rule))
+    counts = exploration_path_counts()
+    if HAVE_NUMPY:
+        # a paper rule must never fall back to the callback paths
+        assert counts["dense-rule"] > 0 and counts["dense-callback"] == 0, \
+            counts
+    _assert_exploration_identical(fast, ref)
+    return {
+        "phase": f"cluster-growing/{density}",
+        "m": graph.num_edges,
+        "sources": len(centers),
+        "budget": budget,
+        "reference_seconds": round(t_ref, 6),
+        "fast_seconds": round(t_fast, 6),
+        "speedup": round(t_ref / t_fast, 3),
+    }
+
+
+def _group_breakdown(seconds_by_label):
+    """Ledger labels -> grouped per-phase build seconds."""
+    grouped = {}
+    for label, secs in seconds_by_label.items():
+        for prefix, group in _BREAKDOWN_GROUPS:
+            if label.startswith(prefix):
+                grouped[group] = grouped.get(group, 0.0) + secs
+                break
+        else:
+            grouped["other"] = grouped.get("other", 0.0) + secs
+    return {group: round(secs, 6) for group, secs in grouped.items()}
+
+
 def _tree_phase(graph, repeats, seed=1):
     """Time both forest constructions on a real cluster forest."""
     clusters = build_approx_clusters(graph, k=3, seed=seed,
@@ -143,6 +233,8 @@ def _pipeline_phases(n, repeats, seed=1):
             "k": 3,
             "rounds": report.rounds,
             "build_seconds": round(t_build, 6),
+            "phase_seconds": _group_breakdown(
+                report.scheme.ledger.seconds_breakdown()),
         })
     return out
 
@@ -152,6 +244,8 @@ def collect_record(n=400, repeats=2):
     dense = random_connected(n, 10.0 / n, seed=2000 + n)
     phases = _detection_phases(graph, repeats, "deg6")
     phases.extend(_detection_phases(dense, repeats, "deg10"))
+    phases.append(_cluster_phase(graph, repeats, "deg6"))
+    phases.append(_cluster_phase(dense, repeats, "deg10"))
     phases.append(_tree_phase(graph, repeats))
     phases.extend(_pipeline_phases(n, repeats))
     return {
@@ -178,6 +272,11 @@ def _print_record(record):
             print(f"[E8] {name:<26} n={record['n']:<5} "
                   f"build={phase['build_seconds'] * 1000:9.2f}ms "
                   f"rounds={phase['rounds']}")
+            breakdown = phase.get("phase_seconds")
+            if breakdown:
+                parts = " ".join(f"{g}={s * 1000:.1f}ms"
+                                 for g, s in sorted(breakdown.items()))
+                print(f"[E8]   breakdown: {parts}")
 
 
 def _detection_speedup(record):
@@ -185,9 +284,15 @@ def _detection_speedup(record):
                if p["phase"].startswith("source-detection/rounded"))
 
 
+def _cluster_speedup(record):
+    return min(p["speedup"] for p in record["phases"]
+               if p["phase"].startswith("cluster-growing/"))
+
+
 @pytest.mark.artifact("E8")
 def bench_build_throughput(benchmark):
-    """Batched build phases agree bit-for-bit; detection wins >= 3x."""
+    """Batched build phases agree bit-for-bit; detection wins >= 3x,
+    rule-based cluster growing >= 2.5x."""
     record = benchmark.pedantic(lambda: collect_record(n=400, repeats=2),
                                 rounds=1, iterations=1)
     print()
@@ -197,6 +302,10 @@ def bench_build_throughput(benchmark):
         assert speedup >= REQUIRED_DETECTION_SPEEDUP, (
             f"rounded detection speedup {speedup:.2f}x below "
             f"{REQUIRED_DETECTION_SPEEDUP}x")
+        cluster = _cluster_speedup(record)
+        assert cluster >= REQUIRED_CLUSTER_SPEEDUP, (
+            f"cluster-growing speedup {cluster:.2f}x below "
+            f"{REQUIRED_CLUSTER_SPEEDUP}x")
     # everything else only guards against gross regressions
     assert all(p["speedup"] >= 0.5 for p in record["phases"]
                if "speedup" in p)

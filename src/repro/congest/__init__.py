@@ -25,12 +25,15 @@ from .broadcast import (
 )
 from .bellman_ford import (
     ExplorationResult,
+    JoinRule,
     NearestSourceResult,
     VirtualExplorationResult,
+    exploration_path_counts,
     multi_source_exploration,
     multi_source_exploration_reference,
     nearest_source_exploration,
     nearest_source_exploration_reference,
+    reset_exploration_path_counts,
     virtual_multi_source_exploration,
 )
 
@@ -62,9 +65,12 @@ __all__ = [
     "convergecast",
     "simulate_flood_rounds",
     "ExplorationResult",
+    "JoinRule",
     "NearestSourceResult",
     "VirtualExplorationResult",
+    "exploration_path_counts",
     "multi_source_exploration",
+    "reset_exploration_path_counts",
     "multi_source_exploration_reference",
     "nearest_source_exploration",
     "nearest_source_exploration_reference",

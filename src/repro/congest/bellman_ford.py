@@ -29,6 +29,16 @@ the public names run a **batched flat-array path** — CSR/snapshot
 adjacency (no per-vertex generator dispatch), candidate arrays with a
 touched-list instead of ``setdefault`` churn, and sorted frontiers.
 
+Join predicates come in two forms: an opaque callback
+(:data:`JoinPredicate`, evaluated once per improving winner) and the
+declarative :class:`JoinRule` — a per-vertex threshold plan covering
+every rule the paper actually applies (Eq. (11), the middle-scale
+pivot-distance filter, Eq. (14)/(15)), which the dense kernel path
+evaluates as a masked vector compare fused into the scatter-min
+relaxation instead of a per-winner Python call.  Dispatch is observable
+through :func:`exploration_path_counts`; CI gates on a paper rule never
+degrading to the callback evaluation when numpy is available.
+
 One deliberate semantic pin, applied to *both* implementations:
 frontiers are processed in sorted vertex order (the originals iterated
 a ``set``/dict), so equal-distance ties resolve deterministically and
@@ -75,12 +85,76 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
 #: (:mod:`repro.graphs.recording`), which records only applied updates.
 JoinPredicate = Callable[[int, int, float], bool]
 
+
+@dataclass(frozen=True)
+class JoinRule:
+    """Declarative join plan: accept ``(v, s, d)`` iff ``d`` beats a
+    per-vertex threshold.
+
+    Every join rule the paper's cluster growing applies has exactly
+    this shape — rule (11) compares against ``d_G(v, A_{i+1})``, the
+    middle scale against the exact ``(k+1)/2``-pivot distance, rules
+    (14)/(15) against scaled pivot budgets on the virtual graphs — so
+    instead of an opaque :data:`JoinPredicate` closure, callers hand
+    the exploration the *description*: a ``threshold`` array indexed by
+    vertex (``INF`` entries always accept), a ``strict`` flag (``d <
+    threshold[v]`` when set, ``d <= threshold[v]`` otherwise; every
+    paper rule is strict), and an optional ``exempt_sources`` set whose
+    explorations bypass the threshold entirely.  The dense kernel path
+    evaluates the rule as one masked vector compare fused into the
+    scatter-min relaxation (:func:`repro.graphs.csr.relax_frontier`
+    ``threshold=``); the fallback paths evaluate the same comparison
+    inline.  A rule is by construction a pure, distance-antitone
+    predicate, so every differential guarantee stated for callbacks
+    applies.
+    """
+
+    threshold: Sequence[float]
+    strict: bool = True
+    exempt_sources: Optional[frozenset] = None
+
+    def accepts(self, v: int, s: int, d: float) -> bool:
+        """Scalar evaluation (the semantics the arrays implement)."""
+        if self.exempt_sources is not None and s in self.exempt_sources:
+            return True
+        budget = self.threshold[v]
+        return d < budget if self.strict else d <= budget
+
+    def as_predicate(self) -> JoinPredicate:
+        """The equivalent opaque callback (reference/oracle paths)."""
+        return self.accepts
+
+    def source_threshold(self, s: int, vector):
+        """The threshold array ``s``'s exploration runs under, or
+        ``None`` when ``s`` is exempt (= unconditional accept)."""
+        if self.exempt_sources is not None and s in self.exempt_sources:
+            return None
+        return vector
+
+
 #: Words per (source, distance) estimate on the wire.
 _ESTIMATE_WORDS = 2
 
 #: Ceiling on ``|sources| * n`` cells before the dense per-source rows
 #: of the kernel-based multi-source path stop being worth their memory.
 _DENSE_CELL_LIMIT = 1 << 22
+
+#: Diagnostic counters: which implementation served each
+#: :func:`multi_source_exploration` call.  CI gates on these — a paper
+#: join rule (a :class:`JoinRule`) must never silently degrade to a
+#: per-winner callback evaluation when numpy is available.
+_PATH_COUNTS = {"dense-rule": 0, "dense-callback": 0,
+                "bucketed-rule": 0, "bucketed-callback": 0}
+
+
+def exploration_path_counts() -> Dict[str, int]:
+    """A copy of the per-path dispatch counters (diagnostics/CI)."""
+    return dict(_PATH_COUNTS)
+
+
+def reset_exploration_path_counts() -> None:
+    for key in _PATH_COUNTS:
+        _PATH_COUNTS[key] = 0
 
 
 def _flat_adjacency(graph: WeightedGraph
@@ -90,15 +164,28 @@ def _flat_adjacency(graph: WeightedGraph
     Served from the graph's cached :func:`csr_view` (same neighbor
     order by that view's contract); numpy-backed views are converted to
     lists because the scalar exploration loops below index them far
-    faster than numpy arrays.
+    faster than numpy arrays.  The triplet is cached on the graph
+    (``_flat_cache``) keyed by the mutation ``version`` and the numpy
+    availability it was derived under — exactly the CSR view's own
+    invalidation contract — so one build's many exploration calls share
+    a single conversion.  The cached lists are *shared*: callers must
+    treat them as read-only.
     """
+    cache = graph._flat_cache
+    version = graph.version
+    if cache is not None and cache[0] == version \
+            and cache[1] == _csr.HAVE_NUMPY:
+        return cache[2]
     view = csr_view(graph)
     if view.vectorized:
-        return (view.indptr.tolist(), view.indices.tolist(),
+        flat = (view.indptr.tolist(), view.indices.tolist(),
                 view.weights.tolist())
-    # fresh copies: the view's lists are the live cache and callers own
-    # the old contract's private arrays
-    return list(view.indptr), list(view.indices), list(view.weights)
+    else:
+        # fresh copies: the view's lists are the live CSR cache
+        flat = (list(view.indptr), list(view.indices),
+                list(view.weights))
+    graph._flat_cache = (version, _csr.HAVE_NUMPY, flat)
+    return flat
 
 
 @dataclass
@@ -335,17 +422,29 @@ def multi_source_exploration(graph: WeightedGraph,
       dense distance rows advanced by the shared scatter-min kernel of
       :mod:`repro.graphs.csr` — the same kernel the batched source
       detection uses — replacing the per-(vertex, source) candidate
-      bucket bookkeeping entirely;
+      bucket bookkeeping entirely.  A declarative :class:`JoinRule`
+      additionally fuses the join comparison into the kernel itself
+      (one masked vector compare), eliminating the per-winner Python
+      call; an opaque callback keeps the per-winner evaluation;
     * otherwise, flat candidate buckets over an adjacency snapshot (the
-      PR-2 path, kept as the universal fallback).
+      PR-2 path, kept as the universal fallback; join rules are still
+      evaluated as inline comparisons there, never as calls).
     """
     n = graph.num_vertices
+    is_rule = isinstance(join, JoinRule)
     if _csr.HAVE_NUMPY and n > 0 and sources \
             and len(set(sources)) * n <= _DENSE_CELL_LIMIT:
         view = csr_view(graph)
         if view.vectorized:
+            if is_rule:
+                _PATH_COUNTS["dense-rule"] += 1
+                return _multi_source_dense_rule(view, graph, sources,
+                                                iterations, join,
+                                                capacity_words)
+            _PATH_COUNTS["dense-callback"] += 1
             return _multi_source_dense(view, graph, sources, iterations,
                                        join, capacity_words)
+    _PATH_COUNTS["bucketed-rule" if is_rule else "bucketed-callback"] += 1
     return _multi_source_bucketed(graph, sources, iterations, join,
                                   capacity_words)
 
@@ -428,17 +527,179 @@ def _multi_source_dense(view, graph: WeightedGraph,
                              max_estimates_per_node=max_live)
 
 
+def _multi_source_dense_rule(view, graph: WeightedGraph,
+                             sources: Sequence[int], iterations: int,
+                             rule: JoinRule,
+                             capacity_words: int) -> ExplorationResult:
+    """Kernel path for declarative join rules: every live
+    ``(source, vertex)`` estimate across *all* explorations advances in
+    one flat scatter-min per hop, with the join comparison fused in as
+    a masked vector compare.
+
+    The frontier is three parallel arrays — source row, vertex,
+    distance — covering every exploration at once.  A hop gathers the
+    out-edges of each frontier pair (``repeat`` over the CSR slices),
+    applies the join rule to the candidates as one vector compare
+    (``cand < threshold[target]``, exempt-source rows forced through),
+    keeps strict improvements against the current distance matrix, and
+    reduces to one winner per ``(row, target)`` key with a single
+    ``lexsort``.  Work per hop is proportional to the *live* edges —
+    the same cells the reference's dict loops touch — not to
+    ``|sources| × |frontier|``, which is what makes this profitable for
+    many small localized clusters.
+
+    Bit-identity with the per-winner callback paths:
+
+    * Candidates are ordered by (frontier position, CSR edge index)
+      and the frontier is kept sorted by (row, vertex), so the
+      ``lexsort`` picking the earliest position among equal minima
+      reproduces the kernel's reversed-scatter tie-break (ascending
+      frontier: first winning edge in CSR order supplies the parent).
+    * Filtering *candidates* by the threshold before the group minimum
+      equals filtering winners afterwards: rules are antitone in the
+      distance, so if the group minimum fails the compare every other
+      candidate in the group fails it too.
+    * A rejected pair keeps its ``INF`` entry and every later
+      (heavier) candidate re-fails the same fused compare, exactly as
+      the reference's repeated predicate calls would.
+    * Because every surviving winner is applied, committing the
+      ``(via, target)`` pairs at the raw unit reproduces the callback
+      path's support transcript.
+
+    Equivalence accounting mirrors the reference loop field by field:
+    iteration-1 congestion is the source multiset's max multiplicity
+    (duplicate sources inflate it, as the reference's frontier lists
+    do), later congestion is the max per-vertex count of accepted
+    updates from the previous hop, ``executed`` counts
+    non-empty-frontier iterations, and the max-estimates statistic
+    samples per-vertex live-estimate counts over the frontier's
+    out-neighborhood after the hop's updates are applied.
+    """
+    n = graph.num_vertices
+    thr = _np.asarray(rule.threshold, dtype=_np.float64)
+    strict = rule.strict
+    source_list = sorted(set(sources))
+    num_rows = len(source_list)
+    src = _np.asarray(source_list, dtype=_np.int64)
+    dist_m = _np.full((num_rows, n), INF)
+    par_m = _np.full((num_rows, n), -1, dtype=_np.int64)
+    dist_m[_np.arange(num_rows), src] = 0.0
+    exempt_rows = None
+    if rule.exempt_sources is not None:
+        exempt_rows = _np.asarray(
+            [s in rule.exempt_sources for s in source_list], dtype=bool)
+    indptr = view.indptr
+    indices = view.indices
+    weights = view.weights_f64()
+    live = _np.zeros(n, dtype=_np.int64)
+    live[src] = 1
+    # frontier pairs sorted by (row, vertex) — the candidate order the
+    # tie-break depends on
+    fr_r = _np.arange(num_rows, dtype=_np.int64)
+    fr_v = src.copy()
+    fr_d = _np.zeros(num_rows)
+    congestion = int(_np.bincount(
+        _np.asarray(list(sources), dtype=_np.int64)).max())
+    per_iter_words: List[int] = []
+    executed = 0
+    max_live = 0
+    for _ in range(iterations):
+        if fr_r.size == 0:
+            break
+        executed += 1
+        per_iter_words.append(congestion * _ESTIMATE_WORDS)
+        sampled = frontier_neighbors(view, _np.unique(fr_v))
+        starts = indptr[fr_v]
+        cnts = indptr[fr_v + 1] - starts
+        total = int(cnts.sum())
+        if total == 0:
+            fr_r = fr_r[:0]
+            continue   # charged but update-free trailing iteration
+        eidx = _csr._gather_edge_indices(starts, cnts, total)
+        c_r = _np.repeat(fr_r, cnts)
+        c_via = _np.repeat(fr_v, cnts)
+        c_t = indices[eidx]
+        c_d = _np.repeat(fr_d, cnts) + weights[eidx]
+        # the fused join: candidates against the per-vertex budget
+        keep = (c_d < thr[c_t]) if strict else (c_d <= thr[c_t])
+        if exempt_rows is not None:
+            keep |= exempt_rows[c_r]
+        keep &= c_d < dist_m[c_r, c_t]
+        if not keep.any():
+            fr_r = fr_r[:0]
+        else:
+            c_r = c_r[keep]
+            c_via = c_via[keep]
+            c_t = c_t[keep]
+            c_d = c_d[keep]
+            # one winner per (row, target): minimum distance, earliest
+            # candidate among equals (frontier position then CSR edge
+            # order — the kernel tie-break)
+            key = c_r * n + c_t
+            order = _np.lexsort(
+                (_np.arange(c_d.size, dtype=_np.int64), c_d, key))
+            k_sorted = key[order]
+            sel = order[_np.r_[True, k_sorted[1:] != k_sorted[:-1]]]
+            b_r = c_r[sel]
+            b_t = c_t[sel]
+            b_d = c_d[sel]
+            b_via = c_via[sel]
+            newly = b_t[dist_m[b_r, b_t] == INF]
+            dist_m[b_r, b_t] = b_d
+            par_m[b_r, b_t] = b_via
+            _np.add.at(live, newly, 1)
+            rec = _recording.active()
+            if rec is not None:
+                rec.commit_pairs(zip(b_via.tolist(), b_t.tolist()))
+            congestion = int(_np.bincount(b_t).max())
+            # next frontier re-sorted by (row, vertex) for the
+            # tie-break order
+            order2 = _np.lexsort((b_t, b_r))
+            fr_r = b_r[order2]
+            fr_v = b_t[order2]
+            fr_d = b_d[order2]
+        # the vertices whose buckets the reference inspects for the
+        # live-estimate maximum, evaluated after this hop's updates
+        if len(sampled):
+            sampled_max = int(live[_np.asarray(sampled)].max())
+            if sampled_max > max_live:
+                max_live = sampled_max
+
+    dist: List[Dict[int, float]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+    rows_i, cols_i = _np.nonzero(dist_m < INF)   # row-major: source
+    values = dist_m[rows_i, cols_i].tolist()     # ascending, vertex
+    pars = par_m[rows_i, cols_i].tolist()        # ascending within
+    for r, v, dv, pv in zip(rows_i.tolist(), cols_i.tolist(),
+                            values, pars):
+        s = source_list[r]
+        dist[v][s] = dv
+        parent[v][s] = None if pv < 0 else pv
+    rounds = congestion_rounds(per_iter_words, capacity_words)
+    return ExplorationResult(dist=dist, parent=parent, iterations=executed,
+                             rounds=rounds,
+                             max_estimates_per_node=max_live)
+
+
 def _multi_source_bucketed(graph: WeightedGraph,
                            sources: Sequence[int],
                            iterations: int,
                            join: JoinPredicate,
                            capacity_words: int = 2
                            ) -> ExplorationResult:
-    """Flat candidate buckets over an adjacency snapshot (the fallback
-    batched path): a fast path for the common one-live-estimate relay,
-    per-target buckets reset via a touched list, sorted frontiers."""
+    """Flat candidate buckets over the cached flat adjacency (the
+    fallback batched path): a fast path for the common one-live-estimate
+    relay, per-target buckets reset via a touched list, sorted
+    frontiers.  A declarative :class:`JoinRule` is evaluated as an
+    inline per-vertex comparison here — same acceptances as the fused
+    kernel compare, no per-winner call."""
     n = graph.num_vertices
-    adjacency = [list(graph.neighbor_weights(u)) for u in range(n)]
+    starts, nbrs, wts = _flat_adjacency(graph)
+    rule = join if isinstance(join, JoinRule) else None
+    if rule is not None:
+        thr = rule.threshold
+        strict = rule.strict
+        exempt = rule.exempt_sources
     dist: List[Dict[int, float]] = [dict() for _ in range(n)]
     parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
     initial: Dict[int, List[int]] = {}
@@ -464,23 +725,26 @@ def _multi_source_bucketed(graph: WeightedGraph,
                 # the common sparse case: one live estimate to relay
                 s = updated_sources[0]
                 d = du[s]
-                for v, weight in adjacency[u]:
+                for j in range(starts[u], starts[u + 1]):
+                    v = nbrs[j]
                     bucket = buckets[v]
                     if bucket is None:
                         bucket = buckets[v] = {}
                         touched.append(v)
-                    nd = d + weight
+                    nd = d + wts[j]
                     best = bucket.get(s)
                     if best is None or nd < best[0]:
                         bucket[s] = (nd, u)
                 continue
             relayed = [(s, du[s]) for s in updated_sources]
-            for v, weight in adjacency[u]:
+            for j in range(starts[u], starts[u + 1]):
+                v = nbrs[j]
                 bucket = buckets[v]
                 if bucket is None:
                     bucket = buckets[v] = {}
                     touched.append(v)
                 bucket_get = bucket.get
+                weight = wts[j]
                 for s, d in relayed:
                     nd = d + weight
                     best = bucket_get(s)
@@ -494,17 +758,26 @@ def _multi_source_bucketed(graph: WeightedGraph,
             dv = dist[v]
             pv = parent[v]
             changed: List[int] = []
+            if rule is not None:
+                tv = thr[v]
             for s, (nd, via) in bucket.items():
-                if nd < dv.get(s, INF) and join(v, s, nd):
-                    dv[s] = nd
-                    pv[s] = via
-                    if rec is not None:
-                        # only applied updates are support: a bucket
-                        # winner the dist/join checks reject stays
-                        # rejected when its edge gets heavier (join
-                        # rules are antitone in the distance)
-                        rec.commit(via, v)
-                    changed.append(s)
+                if nd >= dv.get(s, INF):
+                    continue
+                if rule is not None:
+                    if ((nd >= tv) if strict else (nd > tv)) and (
+                            exempt is None or s not in exempt):
+                        continue
+                elif not join(v, s, nd):
+                    continue
+                dv[s] = nd
+                pv[s] = via
+                if rec is not None:
+                    # only applied updates are support: a bucket
+                    # winner the dist/join checks reject stays
+                    # rejected when its edge gets heavier (join
+                    # rules are antitone in the distance)
+                    rec.commit(via, v)
+                changed.append(s)
             if changed:
                 frontier.append((v, changed))
             if len(dv) > max_live:
@@ -546,7 +819,13 @@ def virtual_multi_source_exploration(virtual: VirtualGraph,
     to the BFS-tree root and broadcast back.  The measured cost of an
     iteration with ``M`` update words is
     ``2 * (ceil(M / capacity) + height)`` rounds.
+
+    ``join`` may be a callback or a :class:`JoinRule` (evaluated
+    scalar-wise via :meth:`JoinRule.accepts`); virtual instances are
+    tiny — ``|A_{ceil(k/2)}|`` vertices — and Lemma-1 accounting
+    dominates, so there is no vectorized variant to fall back from.
     """
+    join = join.accepts if isinstance(join, JoinRule) else join
     dist: Dict[int, Dict[int, float]] = {v: {} for v in virtual.vertices()}
     parent: Dict[int, Dict[int, Optional[int]]] = {
         v: {} for v in virtual.vertices()}

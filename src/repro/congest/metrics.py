@@ -22,17 +22,25 @@ from typing import Dict, Iterator, List, Tuple
 
 @dataclass
 class PhaseCost:
-    """Cost of one named construction phase."""
+    """Cost of one named construction phase.
+
+    ``seconds`` is host wall-clock for the phase's dominant kernel —
+    purely observational (benchmarks report it), never part of the
+    simulated-cost model and never compared by the differential
+    harnesses.
+    """
 
     name: str
     rounds: int
     messages: int = 0
     words: int = 0
+    seconds: float = 0.0
 
     def __add__(self, other: "PhaseCost") -> "PhaseCost":
         return PhaseCost(self.name, self.rounds + other.rounds,
                          self.messages + other.messages,
-                         self.words + other.words)
+                         self.words + other.words,
+                         self.seconds + other.seconds)
 
 
 class CostLedger:
@@ -42,17 +50,19 @@ class CostLedger:
         self._phases: List[PhaseCost] = []
 
     def add(self, name: str, rounds: int, messages: int = 0,
-            words: int = 0) -> None:
+            words: int = 0, seconds: float = 0.0) -> None:
         """Record a phase; zero-round phases are kept for the breakdown."""
-        if rounds < 0 or messages < 0 or words < 0:
+        if rounds < 0 or messages < 0 or words < 0 or seconds < 0:
             raise ValueError("phase costs must be non-negative")
-        self._phases.append(PhaseCost(name, rounds, messages, words))
+        self._phases.append(PhaseCost(name, rounds, messages, words,
+                                      seconds))
 
     def merge(self, other: "CostLedger", prefix: str = "") -> None:
         """Append all phases of ``other``, optionally prefixing names."""
         for phase in other._phases:
             self._phases.append(PhaseCost(prefix + phase.name, phase.rounds,
-                                          phase.messages, phase.words))
+                                          phase.messages, phase.words,
+                                          phase.seconds))
 
     @property
     def total_rounds(self) -> int:
@@ -74,6 +84,17 @@ class CostLedger:
         out: Dict[str, int] = {}
         for phase in self._phases:
             out[phase.name] = out.get(phase.name, 0) + phase.rounds
+        return out
+
+    def seconds_breakdown(self) -> Dict[str, float]:
+        """Phase name -> wall seconds, merging repeated names.
+
+        Only phases whose producers pass ``seconds=`` contribute;
+        benchmarks group these by prefix for per-phase build timing.
+        """
+        out: Dict[str, float] = {}
+        for phase in self._phases:
+            out[phase.name] = out.get(phase.name, 0.0) + phase.seconds
         return out
 
     def __iter__(self) -> Iterator[PhaseCost]:

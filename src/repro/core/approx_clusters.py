@@ -26,15 +26,37 @@ Construction phases (all costs measured into a :class:`CostLedger`):
   rule (14); Phase 1.5 walks hopset-edge paths to repair virtual parents;
   Phase 2 broadcasts the virtual trees and extends them to all of ``V``
   with join rule (15), real parents coming from Remark 1.
+
+Every join rule above is a *per-vertex threshold* and is handed to the
+exploration layer declaratively as a
+:class:`repro.congest.bellman_ford.JoinRule` instead of a closure, so
+the vectorized kernel can evaluate it as one masked compare fused into
+the scatter-min relaxation.  The plans per scale band:
+
+* small levels — ``JoinRule(threshold=d̂_{i+1})``: rule (11), strict,
+  thresholds the (possibly approximate) next-level pivot distances;
+* middle level — ``JoinRule(threshold=d̂_{(k+1)/2})`` applied by the
+  source detection when materializing its estimates (the exact
+  ``(k+1)/2``-pivot distances; propagation is unchanged);
+* large levels, Phase 1 — ``JoinRule(threshold=[d̂_{i+1}(v) /
+  (1+eps)^3])``: rule (14) over the virtual graph ``G''``;
+* large levels, Phase 2 — rule (15) thresholds ``d̂_{i+1}(y)/(1+eps)``
+  precomputed per vertex (evaluated in the broadcast-extension loop,
+  which is not an exploration).
+
+Wall-clock per phase is measured into the ledger (``seconds=``) purely
+for benchmark reporting; it never participates in any equivalence.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..congest.bellman_ford import (
+    JoinRule,
     multi_source_exploration,
     nearest_source_exploration,
     virtual_multi_source_exploration,
@@ -146,18 +168,22 @@ def _compute_pivots(graph: WeightedGraph, params: SchemeParams,
         level_set = hierarchy.level_set(i)
         if i <= params.half_level:
             budget = params.exploration_budget(i)
+            started = time.perf_counter()
             result = nearest_source_exploration(graph, level_set, budget,
                                                 capacity_words)
-            ledger.add(f"pivots/exact-level-{i}", result.rounds)
+            ledger.add(f"pivots/exact-level-{i}", result.rounds,
+                       seconds=time.perf_counter() - started)
             pivots.append(ApproxPivots(level=i, dist_hat=result.dist,
                                        pivot=result.source_of, exact=True))
         else:
+            started = time.perf_counter()
             spt = approximate_spt(graph, level_set, params.eps, rng=rng,
                                   bfs_tree=bfs_tree,
                                   capacity_words=capacity_words,
                                   detection_mode=detection_mode,
                                   rho=params.hopset_rho)
-            ledger.add(f"pivots/approx-level-{i}", spt.rounds)
+            ledger.add(f"pivots/approx-level-{i}", spt.rounds,
+                       seconds=time.perf_counter() - started)
             pivots.append(ApproxPivots(level=i, dist_hat=spt.dist_hat,
                                        pivot=spt.witness, exact=False))
     return pivots
@@ -199,12 +225,13 @@ def _build_small_level(graph: WeightedGraph, level: int,
                        next_pivot_dist: List[float], budget: int,
                        capacity_words: int, ledger: CostLedger
                        ) -> Dict[int, ApproxCluster]:
-    def join(v: int, _source: int, d: float) -> bool:
-        return d < next_pivot_dist[v]          # rule (11)
-
-    result = multi_source_exploration(graph, centers, budget, join,
+    # rule (11): join iff b_v(u) < d̂_{i+1}(v), declaratively
+    rule = JoinRule(threshold=next_pivot_dist)
+    started = time.perf_counter()
+    result = multi_source_exploration(graph, centers, budget, rule,
                                       capacity_words)
-    ledger.add(f"clusters/small-level-{level}", result.rounds)
+    ledger.add(f"clusters/small-level-{level}", result.rounds,
+               seconds=time.perf_counter() - started)
     clusters: Dict[int, ApproxCluster] = {
         u: ApproxCluster(center=u, level=level, value={}, parent={})
         for u in centers}
@@ -227,9 +254,15 @@ def _build_middle_level(graph: WeightedGraph, level: int,
                         eps: float, bfs_tree: BFSTree,
                         detection_mode: str, ledger: CostLedger
                         ) -> Dict[int, ApproxCluster]:
+    # middle-level join rule, applied inside the detection when it
+    # materializes estimates: keep (v, u) iff b < d̂_{(k+1)/2}(v)
+    rule = JoinRule(threshold=next_pivot_dist)
+    started = time.perf_counter()
     detection = detect_sources(graph, centers, budget, eps,
-                               bfs_tree=bfs_tree, mode=detection_mode)
-    ledger.add(f"clusters/middle-level-{level}", detection.rounds)
+                               bfs_tree=bfs_tree, mode=detection_mode,
+                               join_rule=rule)
+    ledger.add(f"clusters/middle-level-{level}", detection.rounds,
+               seconds=time.perf_counter() - started)
     clusters: Dict[int, ApproxCluster] = {
         u: ApproxCluster(center=u, level=level, value={u: 0.0},
                          parent={u: None})
@@ -237,10 +270,9 @@ def _build_middle_level(graph: WeightedGraph, level: int,
     for v in range(graph.num_vertices):
         for u, b in detection.estimate[v].items():
             if v == u:
-                continue
-            if b < next_pivot_dist[v]:         # middle-level join rule
-                clusters[u].value[v] = b
-                clusters[u].parent[v] = detection.parent[v][u]
+                continue   # the detection kept only rule-passing cells
+            clusters[u].value[v] = b
+            clusters[u].parent[v] = detection.parent[v][u]
     for cluster in clusters.values():
         cluster.dropped_members = _prune_orphans(
             cluster.center, cluster.value, cluster.parent)
@@ -267,15 +299,19 @@ def _preprocess_large_scales(graph: WeightedGraph, params: SchemeParams,
                              capacity_words: int, ledger: CostLedger
                              ) -> _LargeScalePreprocessing:
     hop_bound = params.detection_hop_bound
+    started = time.perf_counter()
     detection = detect_sources(graph, v_prime, hop_bound, params.eps / 2,
                                bfs_tree=bfs_tree, mode=detection_mode)
-    ledger.add("large/preprocess-detection", detection.rounds)
+    ledger.add("large/preprocess-detection", detection.rounds,
+               seconds=time.perf_counter() - started)
     virtual_graph = build_virtual_graph_from_detection(detection)
+    started = time.perf_counter()
     hopset_report = build_hopset(virtual_graph, params.eps / 3,
                                  rho=params.hopset_rho, rng=rng,
                                  bfs_tree=bfs_tree,
                                  capacity_words=capacity_words)
-    ledger.add("large/preprocess-hopset", hopset_report.rounds)
+    ledger.add("large/preprocess-hopset", hopset_report.rounds,
+               seconds=time.perf_counter() - started)
     augmented = hopset_report.hopset.augment(virtual_graph)
     beta = hopset_report.hopset.beta_measured or max(
         1, virtual_graph.num_vertices)
@@ -295,14 +331,18 @@ def _build_large_level(graph: WeightedGraph, level: int,
     n = graph.num_vertices
     one_plus = 1.0 + eps
 
-    # ----- Phase 1: β-iteration Bellman–Ford over G'' with rule (14).
-    def join_phase1(v: int, _source: int, d: float) -> bool:
-        return d < next_pivot_hat[v] / one_plus ** 3
-
+    # ----- Phase 1: β-iteration Bellman–Ford over G'' with rule (14),
+    # declaratively: per-vertex budgets d̂_{i+1}(v) / (1+eps)^3 (the
+    # division is precomputed per vertex — same float as the closure's
+    # ``next_pivot_hat[v] / one_plus ** 3``, evaluated once).
+    cube = one_plus ** 3
+    rule14 = JoinRule(threshold=[t / cube for t in next_pivot_hat])
+    started = time.perf_counter()
     phase1 = virtual_multi_source_exploration(
-        pre.augmented, centers, pre.beta, join_phase1, bfs_tree,
+        pre.augmented, centers, pre.beta, rule14, bfs_tree,
         capacity_words)
-    ledger.add(f"large/phase1-level-{level}", phase1.rounds)
+    ledger.add(f"large/phase1-level-{level}", phase1.rounds,
+               seconds=time.perf_counter() - started)
 
     # virtual cluster state: value/virtual-parent per member of C̃'(u)
     virt_value: Dict[int, Dict[int, float]] = {u: {} for u in centers}
@@ -314,6 +354,7 @@ def _build_large_level(graph: WeightedGraph, level: int,
             virt_parent[u][v] = phase1.parent[v][u]
 
     # ----- Phase 1.5: repair along hopset-edge paths (Property 1).
+    started = time.perf_counter()
     for u in centers:
         values = virt_value[u]
         parents = virt_parent[u]
@@ -340,7 +381,8 @@ def _build_large_level(graph: WeightedGraph, level: int,
     ledger.add(f"large/phase1.5-level-{level}",
                2 * pipelined_rounds(3 * sum(len(v) for v in
                                             virt_value.values()),
-                                    capacity_words, bfs_tree.height))
+                                    capacity_words, bfs_tree.height),
+               seconds=time.perf_counter() - started)
 
     # real parents for the virtual members (Remark 1 through the
     # detection's parent pointers)
@@ -360,18 +402,18 @@ def _build_large_level(graph: WeightedGraph, level: int,
 
     # ----- Phase 2: broadcast virtual trees, extend to all of V, rule (15).
     # index the broadcast values by the V' vertex that announces them
+    started = time.perf_counter()
     announced: Dict[int, List[Tuple[int, float]]] = {}
     broadcast_words = 0
     for u in centers:
         for v, b in virt_value[u].items():
             announced.setdefault(v, []).append((u, b))
             broadcast_words += 3
-    ledger.add(f"large/phase2-broadcast-level-{level}",
-               2 * pipelined_rounds(broadcast_words, capacity_words,
-                                    bfs_tree.height))
 
+    # rule (15) per-vertex budgets, precomputed like the other plans
+    thresholds15 = [t / one_plus for t in next_pivot_hat]
     for y in range(n):
-        threshold = next_pivot_hat[y] / one_plus     # rule (15)
+        threshold = thresholds15[y]
         best: Dict[int, Tuple[float, int]] = {}
         for v, d_yv in pre.detection.estimate[y].items():
             for u, bv in announced.get(v, ()):
@@ -385,6 +427,10 @@ def _build_large_level(graph: WeightedGraph, level: int,
             if candidate < threshold:
                 cluster.value[y] = candidate
                 cluster.parent[y] = pre.detection.parent[y].get(v_star)
+    ledger.add(f"large/phase2-broadcast-level-{level}",
+               2 * pipelined_rounds(broadcast_words, capacity_words,
+                                    bfs_tree.height),
+               seconds=time.perf_counter() - started)
 
     for cluster in clusters.values():
         cluster.dropped_members = _prune_orphans(
@@ -419,9 +465,11 @@ def build_approx_clusters(graph: WeightedGraph, k: int,
     ledger = CostLedger()
 
     if bfs_tree is None:
+        started = time.perf_counter()
         bfs_tree = build_bfs_tree(Network(graph, engine=engine), root=0,
                                   capacity_words=capacity_words)
-        ledger.add("setup/bfs-tree", bfs_tree.rounds)
+        ledger.add("setup/bfs-tree", bfs_tree.rounds,
+                   seconds=time.perf_counter() - started)
     if hierarchy is None:
         hierarchy = sample_levels(n, params, rng)
 

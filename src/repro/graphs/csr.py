@@ -139,7 +139,8 @@ def csr_view(graph: WeightedGraph) -> CSRView:
 # Scatter-min relaxation
 # ----------------------------------------------------------------------
 def relax_frontier(view: CSRView, dist_row, frontier: Sequence[int],
-                   weights=None, unit=None, record=True
+                   weights=None, unit=None, record=True,
+                   threshold=None, strict=True
                    ) -> Tuple[Sequence[int], Sequence[float],
                               Sequence[int]]:
     """One Bellman–Ford hop from ``frontier`` over ``view``.
@@ -160,6 +161,15 @@ def relax_frontier(view: CSRView, dist_row, frontier: Sequence[int],
     ``record=False`` suppresses that recording for callers that filter
     winners through a join predicate and record the survivors
     themselves;
+    ``threshold`` fuses a per-vertex join budget into the relaxation:
+    a candidate for target ``v`` survives only if it beats
+    ``threshold[v]`` (strictly when ``strict``, else non-strictly).
+    Filtering *candidates* instead of winners is sound exactly for
+    threshold-form rules: they are antitone in the distance, so a
+    rejected group minimum implies every heavier candidate of that
+    group is rejected too — the surviving winners are precisely the
+    winners a post-hoc per-winner filter would keep.  Returned winners
+    all passed the budget, so recording stays on;
     ``dist_row`` may be a list or a numpy ``float64`` row — the kernel
     picks the vectorized gather only when the view is numpy-backed and
     the frontier is large enough to amortize it.
@@ -178,9 +188,10 @@ def relax_frontier(view: CSRView, dist_row, frontier: Sequence[int],
             return (), (), ()
         if total >= _VECTOR_THRESHOLD:
             result = _relax_vector(view, dist_row, f, starts, counts,
-                                   total, weights)
+                                   total, weights, threshold, strict)
     if result is None:
-        result = _relax_scalar(view, dist_row, frontier, weights)
+        result = _relax_scalar(view, dist_row, frontier, weights,
+                               threshold, strict)
     if record:
         rec = _recording.active()
         if rec is not None and len(result[0]):
@@ -197,13 +208,18 @@ def _gather_edge_indices(starts, counts, total):
     return _np.repeat(starts, counts) + within
 
 
-def _relax_vector(view, dist_row, f, starts, counts, total, weights):
+def _relax_vector(view, dist_row, f, starts, counts, total, weights,
+                  threshold=None, strict=True):
     """Vectorized gather + scatter-min (numpy arrays throughout)."""
     eidx = _gather_edge_indices(starts, counts, total)
     eu = _np.repeat(f, counts)
     ev = view.indices[eidx]
     cand = dist_row[eu] + weights[eidx]
     improving = cand < dist_row[ev]
+    if threshold is not None:
+        # the masked join compare, fused with the improvement mask
+        budget = threshold[ev]
+        improving &= (cand < budget) if strict else (cand <= budget)
     if not improving.any():
         return (), (), ()
     ev = ev[improving]
@@ -220,7 +236,8 @@ def _relax_vector(view, dist_row, f, starts, counts, total, weights):
     return targets, best[targets], via[targets]
 
 
-def _relax_scalar(view, dist_row, frontier, weights):
+def _relax_scalar(view, dist_row, frontier, weights,
+                  threshold=None, strict=True):
     """First-strict-minimum scan, identical to the reference loops."""
     indptr = view.indptr
     indices = view.indices
@@ -233,6 +250,10 @@ def _relax_scalar(view, dist_row, frontier, weights):
             v = indices[j]
             nd = du + weights[j]
             if nd < dist_row[v]:
+                if threshold is not None:
+                    budget = threshold[v]
+                    if (nd >= budget) if strict else (nd > budget):
+                        continue
                 best = cand.get(v)
                 if best is None or nd < best[0]:
                     cand[v] = (nd, u)

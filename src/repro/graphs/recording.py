@@ -93,6 +93,17 @@ class SupportRecorder:
                 return False
         return True
 
+    def snapshot(self) -> Dict[Tuple[int, int], frozenset]:
+        """A frozen copy of the transcript: edge -> frozenset of units.
+
+        The comparison form of the support evidence — two builds lean
+        on the same edges iff their snapshots are equal.  The
+        differential harness uses it to pin the vectorized join paths
+        to the callback oracle's transcript.
+        """
+        return {edge: frozenset(bucket)
+                for edge, bucket in self.units.items()}
+
     def __len__(self) -> int:
         return len(self.units)
 

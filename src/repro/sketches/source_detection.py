@@ -48,6 +48,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..congest.bellman_ford import JoinRule
 from ..congest.bfs import BFSTree
 from ..exceptions import ParameterError
 from ..graphs import recording as _recording
@@ -172,16 +173,29 @@ def _scale_parameters(graph: WeightedGraph, hop_bound: int
     return max(1, math.ceil(math.log2(max_dist + 1)))
 
 
+def _rule_keeps(rule: Optional[JoinRule], u: int, s: int, value) -> bool:
+    """Whether the optional join rule keeps the final cell ``(u, s)``.
+
+    Self-cells are always kept (callers seed the source's own entry
+    unconditionally).  Applied only when estimates are materialized —
+    the propagation itself is never filtered, so recorded support and
+    round charges are those of the unfiltered detection.
+    """
+    return rule is None or u == s or rule.accepts(u, s, value)
+
+
 def detect_sources_reference(graph: WeightedGraph, sources: Sequence[int],
                              hop_bound: int, eps: float,
                              bfs_tree: Optional[BFSTree] = None,
-                             mode: str = "rounded"
+                             mode: str = "rounded",
+                             join_rule: Optional[JoinRule] = None
                              ) -> SourceDetectionResult:
     """Per-source, per-scale oracle for :func:`detect_sources`.
 
     The original dict-of-dict implementation, kept verbatim (modulo the
-    sorted-frontier tie pin) as the semantic reference the differential
-    harness checks the batched path against.
+    sorted-frontier tie pin and the optional ``join_rule`` cell filter)
+    as the semantic reference the differential harness checks the
+    batched path against.
     """
     source_list = _validate(graph, sources, hop_bound, eps, mode)
     n = graph.num_vertices
@@ -196,7 +210,7 @@ def detect_sources_reference(graph: WeightedGraph, sources: Sequence[int],
             dist, par = _bounded_bellman_ford(graph, s, hop_bound,
                                               lambda w: w)
             for u in range(n):
-                if dist[u] < INF:
+                if dist[u] < INF and _rule_keeps(join_rule, u, s, dist[u]):
                     estimate[u][s] = dist[u]
                     parent[u][s] = par[u]
     else:
@@ -222,7 +236,7 @@ def detect_sources_reference(graph: WeightedGraph, sources: Sequence[int],
                         best[u] = dist[u]
                         best_parent[u] = par[u]
             for u in range(n):
-                if best[u] < INF:
+                if best[u] < INF and _rule_keeps(join_rule, u, s, best[u]):
                     estimate[u][s] = best[u]
                     parent[u][s] = best_parent[u]
 
@@ -389,7 +403,9 @@ def _detect_vectorized(view: CSRView, source_list: List[int],
 def detect_sources(graph: WeightedGraph, sources: Sequence[int],
                    hop_bound: int, eps: float,
                    bfs_tree: Optional[BFSTree] = None,
-                   mode: str = "rounded") -> SourceDetectionResult:
+                   mode: str = "rounded",
+                   join_rule: Optional[JoinRule] = None
+                   ) -> SourceDetectionResult:
     """Run [Nan14] Theorem-1 source detection (batched implementation).
 
     Parameters
@@ -407,6 +423,13 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
         assumed when omitted).
     mode:
         ``"rounded"`` (faithful approximate values) or ``"exact"``.
+    join_rule:
+        Optional declarative cell filter (the middle-scale cluster
+        rule): a final estimate cell ``(u, s)`` with ``u != s`` is kept
+        only if the rule accepts it.  Applied as a masked compare when
+        materializing the estimate dictionaries; propagation, parents,
+        recorded support and round charges are those of the unfiltered
+        detection.
 
     Bit-identical to :func:`detect_sources_reference`; see the module
     docstring for the batching scheme.
@@ -467,13 +490,34 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
                         bprow[u] = prow[u]
 
     exact = mode == "exact"
+    thr_arr = None
+    if join_rule is not None and vectorized:
+        thr_arr = _np.asarray(join_rule.threshold, dtype=_np.float64)
     for r, s in enumerate(source_list):
         brow = best[r]
         bprow = best_parent[r]
+        exempt = (join_rule is None
+                  or (join_rule.exempt_sources is not None
+                      and s in join_rule.exempt_sources))
         if vectorized:
-            finite = _np.nonzero(brow < INF)[0]
-        else:
+            keep = brow < INF
+            if not exempt:
+                # the rule as one masked compare; the self-cell is
+                # always kept (it is seeded, never filtered)
+                ok = ((brow < thr_arr) if join_rule.strict
+                      else (brow <= thr_arr))
+                ok[s] = True
+                keep &= ok
+            finite = _np.nonzero(keep)[0]
+        elif exempt:
             finite = [u for u in range(n) if brow[u] < INF]
+        else:
+            thr = join_rule.threshold
+            strict = join_rule.strict
+            finite = [u for u in range(n)
+                      if brow[u] < INF
+                      and (u == s or ((brow[u] < thr[u]) if strict
+                                      else (brow[u] <= thr[u])))]
         for u in finite:
             u = int(u)
             value = brow[u]

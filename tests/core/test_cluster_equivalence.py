@@ -1,0 +1,375 @@
+"""Differential grid for the vectorized cluster growing.
+
+The cluster builders hand the exploration layer declarative
+``JoinRule`` plans that the dense scatter-min kernel evaluates as fused
+masked compares.  This grid pins that path bit-identical to the two
+slower evaluations of the same rules:
+
+* the **reference oracle** — ``multi_source_exploration_reference`` /
+  ``detect_sources_reference`` fed the rule as an opaque callback
+  (``JoinRule.as_predicate()``), i.e. the original dict-based loops;
+* the **callback path** — the batched implementations with a callback
+  join, which evaluate the predicate once per improving winner and
+  carry the support recording the reference omits.
+
+"Bit-identical" covers pivots, cluster members, values, parents,
+dropped counts, the full ledger round breakdown (wall-clock ``seconds``
+are explicitly *not* compared), beta, and — against the callback path —
+the recorded support transcript.  The grid runs the workload zoo with
+numpy on and off (CI re-executes the off case after uninstalling
+numpy) and with the support recorder on and off, and checks that the
+dense-rule kernel path actually served the build (no silent fallback
+to per-winner callbacks) plus the paper invariants (7)/(9)/(10)/(17)
+and ``IncrementalBuilder`` compile-only certification on a weight-flap
+series.
+"""
+
+import random
+
+import pytest
+
+from repro.congest import bellman_ford as bf
+from repro.core import approx_clusters as ac
+from repro.core import (
+    SchemeParams,
+    build_approx_clusters,
+    compute_exact_clusters,
+    sample_levels,
+)
+from repro.dynamic import IncrementalBuilder, TopologyFeed
+from repro.graphs import csr as csr_module
+from repro.graphs import (
+    INF,
+    all_pairs_distances,
+    grid,
+    path,
+    random_connected,
+    ring_of_cliques,
+    star_of_paths,
+    weighted_small_world,
+)
+from repro.graphs.recording import SupportRecorder, recording
+from repro.pipeline import make_workload
+from repro.sketches import source_detection as sd
+from repro.trees import tree_distance
+
+from tests.dynamic.test_incremental import (
+    assert_matches_scratch,
+    scratch_build,
+)
+
+
+# ----------------------------------------------------------------------
+# Workload zoo: small enough for the oracle, varied enough to exercise
+# every scale band (small / middle / large) across k in {2, 3, 4}.
+# ----------------------------------------------------------------------
+WORKLOADS = {
+    "random-16": lambda: random_connected(16, 0.25, seed=811),
+    "random-24": lambda: random_connected(24, 0.18, seed=813),
+    "random-32": lambda: random_connected(32, 0.12, seed=817),
+    "random-36": lambda: random_connected(36, 0.10, seed=819),
+    "dense-20": lambda: random_connected(20, 0.45, seed=823),
+    "dense-28": lambda: random_connected(28, 0.35, seed=827),
+    "grid-5x5": lambda: grid(5, 5, seed=829),
+    "grid-4x8": lambda: grid(4, 8, seed=839),
+    "path-30": lambda: path(30, seed=853),
+    "cliques-4x6": lambda: ring_of_cliques(4, 6, seed=857),
+    "star-4x7": lambda: star_of_paths(4, 7, seed=859),
+    "smallworld-30": lambda: weighted_small_world(30, seed=863),
+}
+
+KS = [2, 3, 4]
+
+GRID = [(name, k) for name in sorted(WORKLOADS) for k in KS]
+
+
+# ----------------------------------------------------------------------
+# Reference / callback shims
+# ----------------------------------------------------------------------
+def _as_predicate(join):
+    return join.as_predicate() if isinstance(join, bf.JoinRule) else join
+
+
+def _reference_exploration(graph, sources, iterations, join,
+                           capacity_words=2):
+    return bf.multi_source_exploration_reference(
+        graph, sources, iterations, _as_predicate(join), capacity_words)
+
+
+def _reference_detection(graph, sources, hop_bound, eps, bfs_tree=None,
+                         mode="rounded", join_rule=None):
+    return sd.detect_sources_reference(graph, sources, hop_bound, eps,
+                                       bfs_tree=bfs_tree, mode=mode,
+                                       join_rule=join_rule)
+
+
+def _callback_exploration(graph, sources, iterations, join,
+                          capacity_words=2):
+    """The pre-JoinRule behavior: batched paths, per-winner callback."""
+    return bf.multi_source_exploration(
+        graph, sources, iterations, _as_predicate(join), capacity_words)
+
+
+def build_system(graph, k, seed, monkeypatch=None, shims=()):
+    """One cluster build; ``shims`` optionally replaces the exploration
+    and/or detection the builders call (within a monkeypatch context)."""
+    if shims:
+        assert monkeypatch is not None
+        for name, fn in shims:
+            monkeypatch.setattr(ac, name, fn)
+    try:
+        return build_approx_clusters(graph, k, seed=seed)
+    finally:
+        if shims:
+            monkeypatch.undo()
+
+
+REFERENCE_SHIMS = (("multi_source_exploration", _reference_exploration),
+                   ("detect_sources", _reference_detection))
+CALLBACK_SHIMS = (("multi_source_exploration", _callback_exploration),)
+
+
+def assert_systems_equal(a, b):
+    """Field-by-field bit-identity (everything except wall seconds)."""
+    assert len(a.pivots) == len(b.pivots)
+    for pa, pb in zip(a.pivots, b.pivots):
+        assert pa.level == pb.level
+        assert pa.exact == pb.exact
+        assert pa.dist_hat == pb.dist_hat
+        assert pa.pivot == pb.pivot
+    assert set(a.clusters) == set(b.clusters)
+    for u in a.clusters:
+        ca, cb = a.clusters[u], b.clusters[u]
+        assert ca.center == cb.center and ca.level == cb.level
+        assert ca.value == cb.value
+        assert ca.parent == cb.parent
+        assert ca.dropped_members == cb.dropped_members
+    assert a.ledger.breakdown() == b.ledger.breakdown()
+    assert a.ledger.total_rounds == b.ledger.total_rounds
+    assert a.beta == b.beta
+    assert a.total_dropped == b.total_dropped
+
+
+# ----------------------------------------------------------------------
+# The main differential grid (numpy path)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload,k", GRID,
+                         ids=[f"{w}-k{k}" for w, k in GRID])
+def test_vectorized_matches_reference(workload, k, monkeypatch):
+    graph = WORKLOADS[workload]()
+    fast = build_system(graph, k, seed=101)
+    ref = build_system(graph, k, seed=101, monkeypatch=monkeypatch,
+                       shims=REFERENCE_SHIMS)
+    assert_systems_equal(fast, ref)
+
+
+@pytest.mark.parametrize("workload,k",
+                         [(w, k) for w, k in GRID if k == 3],
+                         ids=[f"{w}-k{k}" for w, k in GRID if k == 3])
+def test_vectorized_matches_callback_path(workload, k, monkeypatch):
+    graph = WORKLOADS[workload]()
+    fast = build_system(graph, k, seed=103)
+    cb = build_system(graph, k, seed=103, monkeypatch=monkeypatch,
+                      shims=CALLBACK_SHIMS)
+    assert_systems_equal(fast, cb)
+
+
+# ----------------------------------------------------------------------
+# Recorder axis: identical support transcript, and recording does not
+# perturb the build
+# ----------------------------------------------------------------------
+RECORDER_SLICE = ["random-24", "dense-20", "grid-5x5", "cliques-4x6",
+                  "path-30"]
+
+
+@pytest.mark.parametrize("workload", RECORDER_SLICE)
+@pytest.mark.parametrize("k", [2, 3])
+def test_support_transcript_matches_callback(workload, k, monkeypatch):
+    graph = WORKLOADS[workload]()
+    rec_fast = SupportRecorder()
+    with recording(rec_fast):
+        fast = build_system(graph, k, seed=107)
+    rec_cb = SupportRecorder()
+    with recording(rec_cb):
+        cb = build_system(graph, k, seed=107, monkeypatch=monkeypatch,
+                          shims=CALLBACK_SHIMS)
+    assert_systems_equal(fast, cb)
+    assert rec_fast.snapshot() == rec_cb.snapshot()
+
+
+@pytest.mark.parametrize("workload", RECORDER_SLICE)
+def test_recording_does_not_perturb_build(workload):
+    graph = WORKLOADS[workload]()
+    plain = build_system(graph, 3, seed=109)
+    with recording(SupportRecorder()):
+        recorded = build_system(graph, 3, seed=109)
+    assert_systems_equal(plain, recorded)
+
+
+# ----------------------------------------------------------------------
+# No silent fallback: the paper's rules must ride the fused kernel
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not csr_module.HAVE_NUMPY, reason="needs numpy")
+def test_vectorized_path_engaged():
+    graph = WORKLOADS["random-32"]()
+    bf.reset_exploration_path_counts()
+    build_approx_clusters(graph, 3, seed=113)
+    counts = bf.exploration_path_counts()
+    assert counts["dense-rule"] > 0, counts
+    # every cluster exploration is rule-driven and dense at this size:
+    # a nonzero callback or bucketed count means a paper join rule
+    # silently degraded to per-winner Python evaluation
+    assert counts["dense-callback"] == 0, counts
+    assert counts["bucketed-rule"] == 0, counts
+    assert counts["bucketed-callback"] == 0, counts
+
+
+def test_join_rule_scalar_semantics():
+    rule = bf.JoinRule(threshold=[2.0, 5.0], strict=True,
+                       exempt_sources=frozenset([7]))
+    assert rule.accepts(0, 1, 1.5) and not rule.accepts(0, 1, 2.0)
+    assert rule.accepts(0, 7, 99.0)          # exempt source
+    loose = bf.JoinRule(threshold=[2.0], strict=False)
+    assert loose.accepts(0, 1, 2.0) and not loose.accepts(0, 1, 2.1)
+    assert rule.as_predicate()(1, 1, 4.9)
+
+
+# ----------------------------------------------------------------------
+# No-numpy fallback: same grid slice on the pure-python paths
+# ----------------------------------------------------------------------
+NO_NUMPY_SLICE = ["random-16", "random-24", "grid-5x5", "cliques-4x6"]
+
+
+class TestNoNumpyFallback:
+    @pytest.fixture(autouse=True)
+    def force_scalar(self, monkeypatch):
+        monkeypatch.setattr(csr_module, "HAVE_NUMPY", False)
+
+    @pytest.mark.parametrize("workload", NO_NUMPY_SLICE)
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_reference(self, workload, k, monkeypatch):
+        graph = WORKLOADS[workload]()
+        fast = build_system(graph, k, seed=127)
+        ref = build_system(graph, k, seed=127, monkeypatch=monkeypatch,
+                           shims=REFERENCE_SHIMS)
+        assert_systems_equal(fast, ref)
+
+    def test_bucketed_rule_path_serves(self):
+        graph = WORKLOADS["random-16"]()
+        bf.reset_exploration_path_counts()
+        build_approx_clusters(graph, 2, seed=131)
+        counts = bf.exploration_path_counts()
+        assert counts["bucketed-rule"] > 0, counts
+        assert counts["dense-rule"] == 0, counts
+
+    def test_support_transcript_matches_callback(self, monkeypatch):
+        graph = WORKLOADS["dense-20"]()
+        rec_fast = SupportRecorder()
+        with recording(rec_fast):
+            fast = build_system(graph, 3, seed=137)
+        rec_cb = SupportRecorder()
+        with recording(rec_cb):
+            cb = build_system(graph, 3, seed=137, monkeypatch=monkeypatch,
+                              shims=CALLBACK_SHIMS)
+        assert_systems_equal(fast, cb)
+        assert rec_fast.snapshot() == rec_cb.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Invariant spot checks on the vectorized output (the full invariant
+# battery lives in test_approx_clusters.py; this pins the rule-driven
+# build against the exact oracle directly within this grid)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", ["random-32", "cliques-4x6"])
+def test_invariants_on_vectorized_build(workload):
+    graph = WORKLOADS[workload]()
+    k = 3
+    n = graph.num_vertices
+    params = SchemeParams(n=n, k=k)
+    hierarchy = sample_levels(n, params, random.Random(139))
+    approx = build_approx_clusters(graph, k, seed=139, hierarchy=hierarchy)
+    exact = compute_exact_clusters(graph, hierarchy)
+    eps = approx.params.eps
+    ap = all_pairs_distances(graph)
+    # (7) pivots
+    for i in range(k):
+        for v in graph.vertices():
+            exact_d = exact.pivots[i].dist[v]
+            if exact_d == INF:
+                continue
+            d_hat = approx.pivot_distance(v, i)
+            assert exact_d <= d_hat + 1e-9
+            assert d_hat <= (1 + eps) * exact_d + 1e-9
+    for center, cluster in approx.clusters.items():
+        i = cluster.level
+        members = set(cluster.members())
+        # (9) sandwich
+        exact_members = set(exact.clusters[center].members())
+        next_dist = (exact.pivots[i + 1].dist if i + 1 < k
+                     else [INF] * n)
+        assert members <= exact_members
+        c6 = {v for v in graph.vertices()
+              if ap[center][v] < next_dist[v] / (1 + 6 * eps)}
+        assert c6 <= members
+        # (17) values and (10) tree stretch
+        tree = cluster.tree()
+        for v, b in cluster.value.items():
+            d = ap[center][v]
+            assert d <= b + 1e-9
+            assert b <= (1 + eps) ** 4 * d + 1e-9
+            d_tree = tree_distance(tree, graph.weight, center, v)
+            assert d_tree <= (1 + eps) ** 4 * d + 1e-9
+    assert approx.total_dropped == 0
+
+
+# ----------------------------------------------------------------------
+# IncrementalBuilder: compile-only certification parity on a flap series
+# (the support transcript the rule-driven kernel records must certify
+# exactly what the callback path's transcript certified)
+# ----------------------------------------------------------------------
+def _non_support_edge(graph, recorder, max_weight):
+    """An edge outside the support transcript whose weight can grow
+    without moving the graph's max weight."""
+    for u, v, w in sorted(graph.edges()):
+        key = (u, v) if u < v else (v, u)
+        if key not in recorder.units and w + 1 < max_weight:
+            return u, v, w
+    return None
+
+
+def test_compile_only_certification_on_flap_series():
+    graph = make_workload("random", 60, seed=5).graph
+    k = 2
+    feed = TopologyFeed(graph)
+    builder = IncrementalBuilder(feed, k=k, seed=5)
+    initial = builder.build()
+    assert initial.strategy == "initial"
+    assert_matches_scratch(initial, graph, k, 5)
+
+    entry = builder.current
+    assert entry.recorder is not None and len(entry.recorder) > 0
+    picked = _non_support_edge(graph, entry.recorder, entry.max_weight)
+    assert picked is not None, "workload has no certifiable spare edge"
+    u, v, w = picked
+
+    # increase on a non-support edge: certified invisible, compile-only
+    feed.update_edge_weight(u, v, w + 1)
+    report = builder.rebuild()
+    assert report.strategy == "compile-only", report.summary()
+    assert_matches_scratch(report, graph, k, 5)
+
+    # flap back: the previous fingerprint is cached
+    feed.update_edge_weight(u, v, w)
+    back = builder.rebuild()
+    assert back.strategy == "reuse"
+
+    # a decrease can mint new winners anywhere: never certified
+    for eu, ev, ew in sorted(graph.edges()):
+        if ew > 1:
+            feed.update_edge_weight(eu, ev, ew - 1)
+            break
+    else:
+        pytest.skip("all-unit workload")
+    drop = builder.rebuild()
+    assert drop.strategy == "partial", drop.summary()
+    assert_matches_scratch(drop, graph, k, 5)

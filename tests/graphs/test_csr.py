@@ -265,3 +265,91 @@ class TestUpdateEdgeWeight:
         order_after = {u: list(graph.neighbors(u))
                        for u in graph.vertices()}
         assert order_after == order_before
+
+
+class TestThresholdFusion:
+    """relax_frontier's fused per-vertex join budget must keep exactly
+    the winners a post-hoc per-winner filter would keep (sound because
+    threshold rules are antitone in the distance)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("strict", [True, False])
+    def test_matches_post_filter(self, seed, strict):
+        import random
+        rng = random.Random(seed)
+        graph = random_connected(30, 0.2, seed=seed)
+        view = csr_view(graph)
+        n = graph.num_vertices
+        if csr_module.HAVE_NUMPY:
+            np = csr_module._np
+            dist = np.full(n, INF)
+            thr = np.asarray(
+                [rng.uniform(0, 150) if rng.random() < 0.8 else INF
+                 for _ in range(n)])
+        else:
+            dist = [INF] * n
+            thr = [rng.uniform(0, 150) if rng.random() < 0.8 else INF
+                   for _ in range(n)]
+        roots = sorted(rng.sample(range(n), 4))
+        for r in roots:
+            dist[r] = 0.0
+        frontier = roots
+        for _ in range(4):
+            plain = reference_relax(graph, dist, frontier)
+            expect = [(t, d, v) for t, d, v in zip(*plain)
+                      if ((d < thr[t]) if strict else (d <= thr[t]))]
+            got = relax_frontier(view, dist, frontier, record=False,
+                                 threshold=thr, strict=strict)
+            got = [(int(t), float(d), int(v)) for t, d, v in zip(*got)]
+            assert got == expect
+            for t, d, _v in got:
+                dist[t] = d
+            frontier = [t for t, _d, _v in got]
+            if not frontier:
+                break
+
+
+class TestFlatAdjacencyCache:
+    """_flat_adjacency shares one conversion per graph version."""
+
+    def test_cached_until_mutation(self):
+        from repro.congest.bellman_ford import _flat_adjacency
+        graph = random_connected(20, 0.2, seed=11)
+        first = _flat_adjacency(graph)
+        assert _flat_adjacency(graph) is first
+        u, v, w = next(iter(graph.edges()))
+        graph.update_edge_weight(u, v, w + 1)
+        second = _flat_adjacency(graph)
+        assert second is not first
+        # refreshed copy carries the new weight
+        starts, nbrs, wts = second
+        for j in range(starts[u], starts[u + 1]):
+            if nbrs[j] == v:
+                assert wts[j] == w + 1
+                break
+        else:  # pragma: no cover
+            raise AssertionError("edge missing from flat adjacency")
+
+    def test_matches_view_order(self):
+        from repro.congest.bellman_ford import _flat_adjacency
+        graph = random_connected(18, 0.25, seed=13)
+        starts, nbrs, wts = _flat_adjacency(graph)
+        view = csr_view(graph)
+        assert starts == list(view.indptr)
+        assert nbrs == list(view.indices)
+        assert wts == list(view.weights)
+
+    def test_copy_does_not_share_flat_cache(self):
+        from repro.congest.bellman_ford import _flat_adjacency
+        graph = random_connected(16, 0.25, seed=17)
+        _flat_adjacency(graph)
+        clone = graph.copy()
+        assert clone._flat_cache is None
+
+    def test_tracks_numpy_availability(self, monkeypatch):
+        from repro.congest.bellman_ford import _flat_adjacency
+        graph = random_connected(12, 0.3, seed=19)
+        with_numpy = _flat_adjacency(graph)
+        monkeypatch.setattr(csr_module, "HAVE_NUMPY", False)
+        without = _flat_adjacency(graph)
+        assert without == with_numpy  # same lists either way
