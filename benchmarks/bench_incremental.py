@@ -17,14 +17,24 @@ sizes (1, 8, 64 edges) and change models, on two workloads:
   step: topology edits force the ``full``-rebuild fallback, so the
   recorded fallback rate is honestly non-zero.
 
+A fourth, **localized**, series exercises the ``clusters`` strategy
+head-to-head against ``partial``: single-edge weight increases on the
+committed-winner edges fewest detection frontiers crossed (deg-6
+random workload, ``k = 3`` so both detection phases are in play),
+timed once with per-cluster splicing and once with it disabled — the
+exact batches ``partial`` used to eat whole.  The record also reports
+the honest certificate recall: how often ``compile-only`` can fire at
+all, and what fraction of per-source transcripts the clusters dirty
+tests prove clean.
+
 Every step asserts the incremental artifacts (flat *and* dense tiers)
 are bit-identical to the from-scratch build before timing is recorded
 — the speedup is never allowed to change semantics.  The timing
 baseline is that same scratch build, so verification is free.
 
 Emits ``benchmarks/results/incremental.json``.  The pytest-mode entry
-asserts the acceptance floor: >= 3x mean speedup on single-edge flap
-series.
+asserts the acceptance floors: >= 3x mean speedup on single-edge flap
+series, >= 2x on the localized clusters-vs-partial series.
 
 Usage::
 
@@ -50,9 +60,20 @@ from repro.pipeline import SchemePipeline, make_workload
 #: Acceptance floor: single-edge flap series, mean speedup.
 REQUIRED_FLAP_SPEEDUP = 3.0
 
+#: Acceptance floor: localized-change series, ``clusters`` vs the
+#: ``partial`` strategy the same batches would take without splicing.
+REQUIRED_CLUSTERS_SPEEDUP = 2.0
+
 WORKLOADS = [("random", 90, 2, 3), ("grid", 81, 2, 7)]
 BATCH_SIZES = [1, 8, 64]
 MODELS = ["flap", "jitter", "mixed"]
+
+#: The localized-change series: deg-6 random workload at a size where
+#: the spliceable phases (source detection + cluster exploration)
+#: dominate construction, ``k = 3`` so both the middle-level and the
+#: large-scale-preprocessing detections are in play.
+CLUSTERS_WORKLOAD = ("random", 600, 3, 5)
+CLUSTERS_DELTA = 25
 
 
 def _artifact_bytes(artifact):
@@ -166,6 +187,165 @@ def _run_series(workload, n, k, seed, model, batch_size, steps):
     }
 
 
+def _detection_winner_counts(recorder):
+    """Per undirected edge, how many *detection* sources committed it
+    as a winner at some scale (the sources a weight increase on that
+    edge dirties)."""
+    from repro.graphs.recording import DetectionTrace
+    counts = {}
+    for trace in recorder.traces.values():
+        if isinstance(trace, DetectionTrace):
+            for per_edge in trace.commits.values():
+                for key in per_edge:
+                    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _localized_edges(graph, recorder, delta, count):
+    """The ``count`` committed-winner edges fewest detection frontiers
+    crossed — the localized-change case the ``clusters`` strategy is
+    built for.  Committed winners never certify as ``compile-only``
+    (so every step really dispatches to ``clusters``/``partial``), and
+    the headroom check keeps ``max_weight`` — hence every scale grid —
+    unchanged."""
+    counts = _detection_winner_counts(recorder)
+    max_weight = graph.max_weight()
+    ranked = sorted(
+        (counts.get((u, v) if u < v else (v, u), 0), u, v, w)
+        for u, v, w in graph.edges()
+        if ((u, v) if u < v else (v, u)) in recorder.units
+        and w + delta <= max_weight)
+    if len(ranked) < count:
+        raise RuntimeError(f"only {len(ranked)} localized edges")
+    return [(u, v, w, c) for c, u, v, w in ranked[:count]]
+
+
+def _certificate_recall(graph, recorder, sample=400):
+    """Honest recall of the two weight-increase certificates.
+
+    * ``compile_only_recall`` — fraction of sampled edges whose ``+1``
+      increase the per-(edge, unit) transcript certifies invisible
+      (dispatches to ``compile-only``; typically a few percent, since
+      most edges win somewhere across the scale sweep).
+    * ``clusters_clean_source_fraction`` — mean over sampled edges of
+      the fraction of per-source transcripts (exploration sources +
+      detection sources, over all recorded traces) a ``+1`` increase
+      provably leaves unchanged — the work the ``clusters`` strategy
+      skips where ``compile-only`` cannot fire at all.
+    """
+    import math as _math
+    from repro.graphs.recording import DetectionTrace, ExplorationTrace
+    edges = sorted(graph.edges())[:sample]
+    exploration_winners = []
+    detection_traces = []
+    total_sources = 0
+    for trace in recorder.traces.values():
+        total_sources += len(trace.sources)
+        if isinstance(trace, ExplorationTrace):
+            won = {}
+            for s, evs in trace.events.items():
+                for _t, v, via, _d in evs:
+                    won.setdefault((via, v) if via < v else (v, via),
+                                   set()).add(s)
+            exploration_winners.append(won)
+        elif isinstance(trace, DetectionTrace):
+            detection_traces.append(trace)
+    certified = 0
+    clean_fractions = []
+    for u, v, w in edges:
+        key = (u, v) if u < v else (v, u)
+        if recorder.certifies_increase(u, v, w, w + 1):
+            certified += 1
+        dirty = 0
+        for won in exploration_winners:
+            dirty += len(won.get(key, ()))
+        for trace in detection_traces:
+            for s, per_edge in trace.commits.items():
+                bucket = per_edge.get(key)
+                if bucket is not None and any(
+                        unit is None
+                        or _math.ceil(w / unit) != _math.ceil((w + 1) / unit)
+                        for unit in bucket):
+                    dirty += 1
+        clean_fractions.append(1.0 - dirty / total_sources)
+    return {
+        "sampled_edges": len(edges),
+        "compile_only_recall": round(certified / len(edges), 4),
+        "clusters_clean_source_fraction":
+            round(sum(clean_fractions) / len(clean_fractions), 4),
+    }
+
+
+def _run_localized_series(workload, n, k, seed, steps, delta):
+    """Time the same localized weight-increase series twice: once with
+    the ``clusters`` strategy, once with splicing disabled (``partial``
+    — what every one of these batches took before this strategy
+    existed).  The clusters pass verifies bit-identity against a
+    scratch build at every step before anything is recorded; the
+    partial pass is verified against those same scratch bytes."""
+    graph0 = make_workload(workload, n, seed=seed).graph
+
+    def build(enable):
+        feed = TopologyFeed(graph0.copy())
+        builder = IncrementalBuilder(feed, k=k, seed=seed, cache_size=1,
+                                     enable_clusters=enable)
+        builder.build()
+        return feed, builder
+
+    feed, builder = build(enable=True)
+    edges = _localized_edges(feed.graph, builder.current.recorder,
+                             delta, steps)
+    recall = _certificate_recall(feed.graph, builder.current.recorder)
+
+    clusters_seconds, scratch_bytes, fallbacks = [], [], []
+    reused = rebuilt = 0
+    for u, v, w, _count in edges:
+        feed.update_edge_weight(u, v, w + delta)
+        start = time.perf_counter()
+        report = builder.rebuild()
+        clusters_seconds.append(time.perf_counter() - start)
+        assert report.strategy == "clusters", (report.strategy,
+                                               report.fallback_reason)
+        fallbacks.extend(report.splice_fallbacks)
+        reused += report.reused_clusters
+        rebuilt += report.rebuilt_clusters
+        _t, flat, dense = _scratch(feed.graph, k, seed)
+        scratch_bytes.append((_artifact_bytes(flat),
+                              _artifact_bytes(dense)))
+        assert _artifact_bytes(report.compiled) == scratch_bytes[-1][0]
+        assert _artifact_bytes(report.dense) == scratch_bytes[-1][1]
+    by_strategy = builder.stats()["by_strategy"]
+
+    feed, builder = build(enable=False)
+    partial_seconds = []
+    for (u, v, w, _count), expected in zip(edges, scratch_bytes):
+        feed.update_edge_weight(u, v, w + delta)
+        start = time.perf_counter()
+        report = builder.rebuild()
+        partial_seconds.append(time.perf_counter() - start)
+        assert report.strategy == "partial", report.strategy
+        assert _artifact_bytes(report.compiled) == expected[0]
+        assert _artifact_bytes(report.dense) == expected[1]
+
+    mean_clusters = sum(clusters_seconds) / len(clusters_seconds)
+    mean_partial = sum(partial_seconds) / len(partial_seconds)
+    return {
+        "workload": f"{workload}{n}-k{k}",
+        "model": "localized",
+        "steps": steps,
+        "delta": delta,
+        "edge_detection_winners": [c for *_e, c in edges],
+        "clusters_mean_seconds": round(mean_clusters, 6),
+        "partial_mean_seconds": round(mean_partial, 6),
+        "speedup": round(mean_partial / mean_clusters, 3),
+        "by_strategy": by_strategy,
+        "splice_fallbacks": fallbacks,
+        "reused_clusters": reused,
+        "rebuilt_clusters": rebuilt,
+        "certificate_recall": recall,
+    }
+
+
 def collect_record(steps=6, workloads=None):
     series = []
     for workload, n, k, seed in (workloads or WORKLOADS):
@@ -173,12 +353,16 @@ def collect_record(steps=6, workloads=None):
             for batch_size in BATCH_SIZES:
                 series.append(_run_series(workload, n, k, seed,
                                           model, batch_size, steps))
+    workload, n, k, seed = CLUSTERS_WORKLOAD
+    localized = _run_localized_series(workload, n, k, seed, steps,
+                                      CLUSTERS_DELTA)
     return {
         "benchmark": "incremental",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "numpy": HAVE_NUMPY,
         "series": series,
+        "localized_clusters": localized,
     }
 
 
@@ -194,6 +378,19 @@ def _print_record(record):
               f"{s['incremental_mean_seconds'] * 1e3:>10.1f}ms "
               f"{s['scratch_mean_seconds'] * 1e3:>8.1f}ms "
               f"{s['speedup']:>7.2f}x {s['fallback_rate']:>9.2f}")
+    loc = record.get("localized_clusters")
+    if loc:
+        recall = loc["certificate_recall"]
+        print(f"{loc['workload']:<16} {loc['model']:<7} {1:>5} "
+              f"{loc['clusters_mean_seconds'] * 1e3:>10.1f}ms "
+              f"{loc['partial_mean_seconds'] * 1e3:>8.1f}ms "
+              f"{loc['speedup']:>7.2f}x   (vs partial)")
+        print(f"  clusters {loc['reused_clusters']} reused / "
+              f"{loc['rebuilt_clusters']} rebuilt, "
+              f"{len(loc['splice_fallbacks'])} splice fallbacks; "
+              f"compile-only recall "
+              f"{recall['compile_only_recall']:.1%}, clean-source "
+              f"fraction {recall['clusters_clean_source_fraction']:.1%}")
 
 
 def _flap_single_edge_speedups(record):
@@ -203,7 +400,8 @@ def _flap_single_edge_speedups(record):
 
 @pytest.mark.artifact("E9")
 def bench_incremental(benchmark):
-    """Incremental rebuilds bit-identical; single-edge flaps >= 3x."""
+    """Incremental rebuilds bit-identical; single-edge flaps >= 3x;
+    localized-change series >= 2x over ``partial``."""
     record = benchmark.pedantic(lambda: collect_record(steps=4),
                                 rounds=1, iterations=1)
     print()
@@ -214,6 +412,11 @@ def bench_incremental(benchmark):
         assert speedup >= REQUIRED_FLAP_SPEEDUP, (
             f"single-edge flap speedup {speedup:.2f}x below "
             f"{REQUIRED_FLAP_SPEEDUP}x")
+    loc = record["localized_clusters"]
+    assert not loc["splice_fallbacks"], loc["splice_fallbacks"]
+    assert loc["speedup"] >= REQUIRED_CLUSTERS_SPEEDUP, (
+        f"localized clusters speedup {loc['speedup']:.2f}x below "
+        f"{REQUIRED_CLUSTERS_SPEEDUP}x")
 
 
 def main(argv=None):
@@ -235,6 +438,12 @@ def main(argv=None):
         print(f"[E9] WARNING: single-edge flap speedup "
               f"{min(speedups):.2f}x below the "
               f"{REQUIRED_FLAP_SPEEDUP}x floor")
+        return 1
+    loc = record["localized_clusters"]
+    if loc["speedup"] < REQUIRED_CLUSTERS_SPEEDUP:
+        print(f"[E9] WARNING: localized clusters speedup "
+              f"{loc['speedup']:.2f}x below the "
+              f"{REQUIRED_CLUSTERS_SPEEDUP}x floor")
         return 1
     return 0
 

@@ -156,11 +156,11 @@ class TopologyFeed:
         name stays — the paper's model has fixed ``V``).  Returns the
         removed ``(u, v, weight)`` edges so a caller can stage a later
         restore."""
-        removed = [(v, w, wt) for w, wt in
+        removed = [(u, v, wt) for u, wt in
                    list(self.graph.neighbor_weights(v))]
-        for _, w, wt in removed:
-            self.graph.remove_edge(v, w)
-            self._log.append(Change("remove", *_key(v, w), wt, None))
+        for u, _same, wt in removed:
+            self.graph.remove_edge(u, v)
+            self._log.append(Change("remove", *_key(u, v), wt, None))
         return removed
 
     # -- inspection ----------------------------------------------------

@@ -4,7 +4,7 @@
 of a :class:`~repro.dynamic.TopologyFeed` and produces the same
 ``(CompiledScheme, DenseRoutingPlane)`` pair a from-scratch
 ``SchemePipeline.build()`` + ``compile()`` would produce on the mutated
-graph — **bit for bit**.  Four strategies, tried cheapest first, each
+graph — **bit for bit**.  Five strategies, tried cheapest first, each
 with an explicit soundness argument; anything unproven falls back to a
 full rebuild (the fallback rate is tracked and reported honestly):
 
@@ -22,26 +22,49 @@ full rebuild (the fallback rate is tracked and reported honestly):
 
 ``compile-only``
     Weight increases confined to edges with **zero recorded commits**
-    in the previous build's support transcript, with the graph's max
-    weight unchanged.  The construction objects are reused untouched;
-    only the flat + dense artifacts are recompiled (compilation reads
-    tree-parent edge weights from the live graph, so the new weights
-    land in the tables).  *Sound because* every relaxation the
-    construction ever applied was committed to the
+    in the previous build's support transcript, with every recorded
+    detection scale grid unchanged.  The construction objects are
+    reused untouched; only the flat + dense artifacts are recompiled
+    (compilation reads tree-parent edge weights from the live graph, so
+    the new weights land in the tables).  *Sound because* every
+    relaxation the construction ever applied was committed to the
     :class:`~repro.graphs.recording.SupportRecorder` at the kernel —
     an edge with no commit anywhere was never a winning edge in any
     exploration at any scale, hence contributed no value and no
     decision anywhere in the transcript, and a weight *increase* on a
     never-winning edge cannot create a new winner retroactively in the
-    already-fixed transcript the scratch build would replay.  (The max-
-    weight guard pins the scale grid, the one global weight-derived
-    parameter.)  Tree edges always carry commits (tree parents arise
-    from winning relaxations), so a certified edge is never a tree
-    edge and the reused scheme's structure is exactly what scratch
-    would rebuild.
+    already-fixed transcript the scratch build would replay.  (The
+    scale-grid guard pins the one global weight-derived parameter:
+    each detection call's ``num_scales`` is the build's only consumer
+    of ``max_weight()``, so an increase that keeps every recorded
+    ``hop_bound -> num_scales`` pair unchanged — checked per grid, not
+    via the blunt "max weight unchanged" — leaves every rounding-unit
+    grid and round charge as scratch would recompute them.)  Tree
+    edges always carry commits (tree parents arise from winning
+    relaxations), so a certified edge is never a tree edge and the
+    reused scheme's structure is exactly what scratch would rebuild.
+
+``clusters``
+    Any other weight-only batch whose previous entry carries captured
+    per-source traces: rerun the construction exactly like ``partial``,
+    **except** that each small-level cluster-growing call *and* each
+    source-detection call (middle-level detection, large-scale
+    preprocessing) — the dominant build phases — is served by the
+    per-source splice of :mod:`repro.dynamic.splice`: only the sources
+    whose recorded reach set a net change touched re-run through the
+    kernel; every clean source's rows, support commits and events are
+    replayed from the previous trace.  *Sound because* per-source
+    explorations and detections are independent and the dirty tests are
+    conservative (see the splice module docstring for the per-case
+    arguments); any shape mismatch falls back per call to the plain
+    traced call, so the strategy is bit-identical by construction and
+    the differential grid pins the reconstruction arithmetic
+    (rounds/iterations/max-estimates, detection round charges).
 
 ``partial``
-    Any other weight-only batch: rerun the cluster phase from scratch
+    Weight-only batches the previous entry carries no exploration
+    traces for (or with splicing disabled): rerun the cluster phase
+    from scratch
     (sound by construction — it sees the new weights), rebuild the
     forest but substitute the previous per-tree scheme wherever the
     inputs are **provably unchanged** (identical tree shape in
@@ -76,10 +99,12 @@ from ..core.tree_routing import ForestRoutingReport, build_forest_routing
 from ..exceptions import ParameterError
 from ..graphs.recording import SupportRecorder, recording
 from ..pipeline import _run_construction
+from ..sketches.source_detection import _scale_parameters
 from .feed import ChangeBatch, TopologyFeed
+from .splice import ClusterSplicer
 
 #: The strategies, cheapest first (also the order they are attempted).
-STRATEGIES = ("reuse", "compile-only", "partial", "full")
+STRATEGIES = ("reuse", "compile-only", "clusters", "partial", "full")
 
 
 @dataclass
@@ -117,6 +142,14 @@ class RebuildReport:
     reused_trees: int = 0
     rebuilt_trees: int = 0
     cache_hit: bool = False
+    #: ``clusters`` strategy only: per-source splice accounting across
+    #: the small-level exploration calls, and the per-call reasons any
+    #: of them fell back to a plain (still bit-identical) re-run.
+    reused_clusters: int = 0
+    rebuilt_clusters: int = 0
+    spliced_levels: int = 0
+    rerun_levels: int = 0
+    splice_fallbacks: Tuple[str, ...] = ()
 
     # -- passthroughs ---------------------------------------------------
     @property
@@ -146,6 +179,9 @@ class RebuildReport:
         if self.reused_trees or self.rebuilt_trees:
             line += (f" trees={self.reused_trees} reused /"
                      f" {self.rebuilt_trees} rebuilt")
+        if self.reused_clusters or self.rebuilt_clusters:
+            line += (f" clusters={self.reused_clusters} reused /"
+                     f" {self.rebuilt_clusters} rebuilt")
         return line
 
 
@@ -171,10 +207,12 @@ class IncrementalBuilder:
                  eps: float = 0.0, detection_mode: str = "rounded",
                  capacity_words: int = 2, use_tz_trick: bool = True,
                  engine: Optional[str] = None,
-                 cache_size: int = 8) -> None:
+                 cache_size: int = 8,
+                 enable_clusters: bool = True) -> None:
         if cache_size < 1:
             raise ParameterError(
                 f"cache_size must be >= 1, got {cache_size}")
+        self._enable_clusters = enable_clusters
         self.feed = feed
         self._params = dict(k=k, seed=seed, eps_override=eps,
                             detection_mode=detection_mode,
@@ -217,14 +255,21 @@ class IncrementalBuilder:
         start = time.perf_counter()
         batch = self.feed.pending()
         fp = self.feed.fingerprint()
-        strategy, entry, reason, reused, rebuilt, hit = \
+        strategy, entry, reason, reused, rebuilt, hit, splice = \
             self._dispatch(batch, fp)
         self._install(entry, strategy)
-        return RebuildReport(
+        report = RebuildReport(
             strategy=strategy, fingerprint=fp,
             duration_s=time.perf_counter() - start, entry=entry,
             batch=batch, fallback_reason=reason,
             reused_trees=reused, rebuilt_trees=rebuilt, cache_hit=hit)
+        if splice is not None:
+            report.reused_clusters = splice.reused_sources
+            report.rebuilt_clusters = splice.rebuilt_sources
+            report.spliced_levels = splice.spliced_calls
+            report.rerun_levels = splice.rerun_calls
+            report.splice_fallbacks = tuple(splice.fallbacks)
+        return report
 
     def stats(self) -> Dict[str, object]:
         """Strategy counters and the honest fallback rate (full
@@ -241,28 +286,34 @@ class IncrementalBuilder:
     # -- strategy dispatch ----------------------------------------------
     def _dispatch(self, batch: ChangeBatch, fp: str):
         """Returns (strategy, entry, fallback_reason, reused, rebuilt,
-        cache_hit)."""
+        cache_hit, splice_stats)."""
         cached = self._cache.get(fp)
         if cached is not None:
             self._cache.move_to_end(fp)
             return ("reuse", cached, None, 0, 0,
-                    fp != self._current.fingerprint)
+                    fp != self._current.fingerprint, None)
 
         if batch.topology_changed:
             return ("full", self._full_build(), "topology-changed",
-                    0, 0, False)
+                    0, 0, False, None)
 
         prev = self._current
         if batch.increase_only:
             reason = self._certify_increases(batch, prev)
             if reason is None:
                 entry = self._compile_only(prev, fp)
-                return ("compile-only", entry, None, 0, 0, False)
+                return ("compile-only", entry, None, 0, 0, False, None)
         else:
             reason = "weight-decrease-present"
 
+        if (self._enable_clusters and prev.recorder is not None
+                and prev.recorder.traces):
+            entry, reused, rebuilt, splice = self._clusters_build(prev,
+                                                                  batch)
+            return ("clusters", entry, reason, reused, rebuilt, False,
+                    splice)
         entry, reused, rebuilt = self._partial_build(prev)
-        return ("partial", entry, reason, reused, rebuilt, False)
+        return ("partial", entry, reason, reused, rebuilt, False, None)
 
     def _certify_increases(self, batch: ChangeBatch,
                            prev: BuildEntry) -> Optional[str]:
@@ -270,7 +321,18 @@ class IncrementalBuilder:
         previous build transcript; otherwise the reason it is not."""
         if prev.recorder is None:
             return "no-support-transcript"
-        if self.feed.graph.max_weight() != prev.max_weight:
+        grids = prev.recorder.scale_grids
+        if grids:
+            # num_scales is the build's only max_weight() consumer:
+            # unchanged grids => every rounding unit and round charge
+            # is recomputed identically, whatever the new max weight
+            for hop_bound, num_scales in grids.items():
+                if _scale_parameters(self.feed.graph,
+                                     hop_bound) != num_scales:
+                    return f"scale-grid-changed-B{hop_bound}"
+        elif self.feed.graph.max_weight() != prev.max_weight:
+            # no recorded grids (transcript from an old build): fall
+            # back to the blunt max-weight pin
             return "max-weight-changed"
         for u, v, base, cur in batch.net:
             if not prev.recorder.certifies_increase(u, v, base, cur):
@@ -280,7 +342,7 @@ class IncrementalBuilder:
     # -- strategy implementations ---------------------------------------
     def _full_build(self) -> BuildEntry:
         builder, capture = self._forest_capture(prev=None)
-        recorder = SupportRecorder()
+        recorder = SupportRecorder(capture_explorations=True)
         with recording(recorder):
             construction = _run_construction(
                 self.feed.graph, forest_builder=builder, **self._params)
@@ -304,7 +366,7 @@ class IncrementalBuilder:
 
     def _partial_build(self, prev: BuildEntry):
         builder, capture = self._forest_capture(prev=prev)
-        recorder = SupportRecorder()
+        recorder = SupportRecorder(capture_explorations=True)
         with recording(recorder):
             construction = _run_construction(
                 self.feed.graph, forest_builder=builder, **self._params)
@@ -312,6 +374,27 @@ class IncrementalBuilder:
                                    capture["splitters"])
         stats = capture["stats"]
         return entry, stats["reused"], stats["rebuilt"]
+
+    def _clusters_build(self, prev: BuildEntry, batch: ChangeBatch):
+        # identical to _partial_build except that the small-level
+        # exploration calls and the detection calls (middle level +
+        # large-scale preprocessing) go through the per-source splice;
+        # the rng trajectory and every other phase replay scratch
+        # exactly, so the only delta a scratch diff could see is the
+        # spliced ExplorationResults / SourceDetectionResults — which
+        # the splice reconstructs bit-identically (or re-runs).
+        splicer = ClusterSplicer(prev.recorder.traces, batch.net)
+        builder, capture = self._forest_capture(prev=prev)
+        recorder = SupportRecorder(capture_explorations=True)
+        with recording(recorder):
+            construction = _run_construction(
+                self.feed.graph, forest_builder=builder,
+                cluster_explorer=splicer.explore,
+                detection_hook=splicer.detect, **self._params)
+        entry = self._finish_entry(construction, recorder,
+                                   capture["splitters"])
+        stats = capture["stats"]
+        return entry, stats["reused"], stats["rebuilt"], splicer.stats
 
     def _finish_entry(self, construction, recorder,
                       splitter_sample) -> BuildEntry:

@@ -12,7 +12,9 @@ Guarantees:
   integer; numbers are never reused, even across retirements and
   process restarts (``next_generation`` persists in the manifest).
 * **Atomic manifest** — the manifest is rewritten via write-temp +
-  ``os.replace``, so a reader never observes a torn manifest; the
+  ``fsync`` + ``os.replace`` (and the directory is fsynced after the
+  rename), so a reader never observes a torn manifest and a published
+  manifest survives a power loss; the
   artifact file is fully written (and checksummed) *before* the
   manifest mentions it, so every generation the manifest lists is
   loadable.
@@ -110,8 +112,23 @@ class ArtifactRegistry:
                             for g in sorted(self._records)],
         }
         tmp = self.manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.manifest_path)
+        # fsync the directory so the rename itself is durable; some
+        # filesystems refuse O_RDONLY directory fds — best effort there
+        try:
+            dir_fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     # -- publication lifecycle ------------------------------------------
     def publish(self, artifact, fingerprint: Optional[str] = None,

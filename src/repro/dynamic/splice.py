@@ -1,0 +1,493 @@
+"""Per-cluster splicing for the ``clusters`` rebuild strategy.
+
+The expensive middle of a build is the small-level cluster growing:
+one :func:`~repro.congest.bellman_ford.multi_source_exploration` call
+per level, each fanning a bounded Bellman–Ford out of every level
+center.  Within such a call the explorations are *independent per
+source*: candidates for source ``s`` arise only from ``s``'s own
+frontier, the join rule is a pure per-``(vertex, source, distance)``
+predicate, and every tie-break (the lexsort key ``row * n + target``,
+the ``(row, vertex)``-sorted frontier, the CSR candidate order) is
+resolved *within* a source row — running any subset of the sources
+reproduces exactly those sources' rows of the full run.
+
+That independence turns the captured per-source event streams
+(:class:`~repro.graphs.recording.ExplorationTrace`) into dependency
+certificates.  For a weight-only batch, a source ``s`` is **dirty** —
+its transcript could differ — only if:
+
+* an edge whose weight *increased* is one of ``s``'s committed
+  winners: a candidate crossing an edge that never produced an applied
+  update for ``s`` lost a strict comparison (or the join), and a
+  heavier candidate keeps losing both (join rules are antitone in the
+  distance — this is the same soundness argument as the per-(edge,
+  unit) compile-only certificate, applied per source);
+* an edge whose weight *decreased* has an endpoint that ever held an
+  applied estimate for ``s`` (including ``s`` itself): by induction
+  the run is unchanged until some candidate first crosses the changed
+  edge, which requires one endpoint to already be applied — so if
+  neither endpoint is ever applied in the old run, no candidate ever
+  crosses it in the new run either;
+* the join threshold changed at a vertex ``s``'s exploration ever
+  *scanned* — the applied vertices and their out-neighborhoods: the
+  rule is only consulted at candidate targets, which are
+  out-neighbors of the frontier.
+
+The clean sources' results, support commits and event streams are then
+replayed verbatim; only the dirty subset re-runs through the real
+kernel.  The call-level statistics (``rounds``, ``iterations``,
+``max_estimates_per_node``) are reconstructed from the merged event
+streams with the exact arithmetic of the kernel loop, so the spliced
+:class:`~repro.congest.bellman_ford.ExplorationResult` — and with it
+the cost ledger and the compiled artifact bytes — is bit-identical to
+a scratch run.  Any shape mismatch between the recorded trace and the
+call at hand (different centers, budget, rule, …) falls back to a
+plain traced call, which is trivially identical, so the ``clusters``
+strategy is bit-identical *by construction* and the differential grid
+only has to catch reconstruction bugs, not soundness bugs.
+
+The same machinery covers **source detection**
+(:func:`~repro.sketches.source_detection.detect_sources` — the middle
+levels' detection pass and the large-scale preprocessing).  Detection
+is per-source independent for the same reasons (the batched
+union-frontier advance is bit-identical to per-source runs, and the
+join rule is applied only when *materializing* the estimate
+dictionaries, never during propagation), so the captured
+:class:`~repro.graphs.recording.DetectionTrace` splits into per-source
+unfiltered cell rows plus per-source ``edge -> rounding units`` commit
+maps.  The dirty tests sharpen per rounding unit: a weight change is
+visible to a scale only if it moves ``ceil(w / unit)``, so an increase
+dirties a source only when the edge is among that source's committed
+winners *at a unit the change actually moves*, and a decrease dirties
+the sources whose finite-cell reach contains an endpoint.  Clean rows
+are re-filtered through the (possibly re-derived) join rule at
+materialization time, rounds come from the closed per-call charge
+formula, and the scale grid is guarded by re-deriving
+``num_scales`` on the mutated graph — any mismatch falls back to a
+real traced call.
+
+To keep the per-rebuild overhead proportional to the *dirty* work, the
+inverted reach indexes (vertex/edge -> sources) are cached on
+``ExplorationTrace.index`` and patched in place for the dirty sources
+each rebuild, and clean support commits are replayed per edge rather
+than per event.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest.bellman_ford import (
+    _ESTIMATE_WORDS,
+    ExplorationResult,
+    JoinRule,
+    multi_source_exploration,
+)
+from ..congest.metrics import congestion_rounds
+from ..graphs import recording as _recording
+from ..graphs.csr import csr_view, frontier_neighbors, out_neighbors
+from ..graphs.recording import DetectionTrace, ExplorationTrace
+from ..graphs.weighted_graph import WeightedGraph
+from ..sketches.source_detection import (
+    SourceDetectionResult,
+    _charged_rounds,
+    _scale_parameters,
+    detect_sources,
+)
+
+#: Internal label for the dirty-subset re-run (popped and merged).
+_SUB_LABEL = "__splice-subset__"
+
+_EMPTY: frozenset = frozenset()
+
+
+@dataclass
+class SpliceStats:
+    """What the splicer did across one rebuild's exploration calls."""
+
+    calls: int = 0
+    spliced_calls: int = 0
+    rerun_calls: int = 0
+    reused_sources: int = 0
+    rebuilt_sources: int = 0
+    fallbacks: List[str] = field(default_factory=list)
+
+
+class ClusterSplicer:
+    """Serves small-level explorations by splicing a previous build.
+
+    Instantiated per ``clusters`` rebuild from the previous entry's
+    recorder traces and the batch's net weight changes; its
+    :meth:`explore` matches the ``small_level_explorer`` hook of
+    :func:`repro.core.approx_clusters.build_approx_clusters`.
+    """
+
+    def __init__(self, traces: Dict[str, ExplorationTrace],
+                 net: Sequence[Tuple[int, int, Optional[int],
+                                     Optional[int]]]) -> None:
+        self._traces = traces
+        self._net = tuple(net)
+        self.stats = SpliceStats()
+
+    # -- the explorer hook -------------------------------------------
+    def explore(self, graph: WeightedGraph, centers: Sequence[int],
+                budget: int, rule: JoinRule, capacity_words: int,
+                label: str) -> ExplorationResult:
+        self.stats.calls += 1
+        result = self._try_splice(graph, centers, budget, rule,
+                                  capacity_words, label)
+        if result is not None:
+            self.stats.spliced_calls += 1
+            return result
+        self.stats.rerun_calls += 1
+        return multi_source_exploration(graph, centers, budget, rule,
+                                        capacity_words, trace_label=label)
+
+    # -- splice machinery --------------------------------------------
+    def _fallback(self, label: str, reason: str) -> None:
+        self.stats.fallbacks.append(f"{label}: {reason}")
+
+    def _try_splice(self, graph: WeightedGraph, centers: Sequence[int],
+                    budget: int, rule: JoinRule, capacity_words: int,
+                    label: str) -> Optional[ExplorationResult]:
+        n = graph.num_vertices
+        trace = self._traces.get(label)
+        if not isinstance(trace, ExplorationTrace):
+            self._fallback(label, "no-trace")
+            return None
+        rec = _recording.active()
+        if rec is None or not rec.capture_explorations:
+            self._fallback(label, "no-capturing-recorder")
+            return None
+        if n < 2:
+            # a 1-vertex graph can hit the kernel's isolated-frontier
+            # early-continue, which the reconstruction does not model
+            self._fallback(label, "tiny-graph")
+            return None
+        if trace.sources != tuple(centers):
+            self._fallback(label, "centers-changed")
+            return None
+        if trace.budget != budget or trace.capacity_words != capacity_words:
+            self._fallback(label, "shape-changed")
+            return None
+        if trace.strict != rule.strict \
+                or trace.exempt_sources != rule.exempt_sources:
+            self._fallback(label, "rule-changed")
+            return None
+        if len(trace.threshold) != n or len(rule.threshold) != n:
+            self._fallback(label, "threshold-shape")
+            return None
+
+        view = csr_view(graph)
+        old_thr = trace.threshold
+        new_thr = rule.threshold
+        changed_thr = [w for w in range(n) if old_thr[w] != new_thr[w]]
+
+        # inverted reach indexes from the recorded events, built on
+        # first use and carried forward across rebuilds (the dirty
+        # sources' contributions are patched below, so a cached index
+        # always reflects ``trace.events`` exactly)
+        if trace.index is not None:
+            applied, won_edge = trace.index
+        else:
+            applied = {}
+            won_edge = {}
+            for s in trace.sources:
+                applied.setdefault(s, set()).add(s)
+            for s, evs in trace.events.items():
+                for _t, v, via, _d in evs:
+                    applied.setdefault(v, set()).add(s)
+                    key = (via, v) if via < v else (v, via)
+                    won_edge.setdefault(key, set()).add(s)
+
+        dirty: Set[int] = set()
+        for u, v, base, cur in self._net:
+            if base is None or cur is None:      # defensive: weight-only
+                self._fallback(label, "topology-in-net")
+                return None
+            key = (u, v) if u < v else (v, u)
+            if cur > base:
+                dirty |= won_edge.get(key, _EMPTY)
+            else:
+                dirty |= applied.get(u, _EMPTY)
+                dirty |= applied.get(v, _EMPTY)
+        for w in changed_thr:
+            dirty |= applied.get(w, _EMPTY)
+            for x in out_neighbors(view, w):
+                dirty |= applied.get(x, _EMPTY)
+
+        source_set = set(trace.sources)
+        dirty &= source_set
+
+        events: Dict[int, List[Tuple[int, int, int, float]]] = {}
+        for s, evs in trace.events.items():
+            if s not in dirty:
+                events[s] = evs
+        if dirty:
+            multi_source_exploration(graph, sorted(dirty), budget, rule,
+                                     capacity_words,
+                                     trace_label=_SUB_LABEL)
+            subtrace = rec.pop_trace(_SUB_LABEL)
+            if subtrace is None:               # kernel path not tracing
+                self._fallback(label, "subset-not-traced")
+                return None
+            events.update(subtrace.events)
+            # patch the dirty sources' index contributions in place
+            # (the old trace object is discarded, so mutating its
+            # cached sets is safe); seeds stay — sources are unchanged
+            for s in dirty:
+                for _t, v, via, _d in trace.events.get(s, ()):
+                    applied[v].discard(s)
+                    key = (via, v) if via < v else (v, via)
+                    won_edge[key].discard(s)
+            for s in dirty:
+                for _t, v, via, _d in subtrace.events.get(s, ()):
+                    applied.setdefault(v, set()).add(s)
+                    key = (via, v) if via < v else (v, via)
+                    won_edge.setdefault(key, set()).add(s)
+        self.stats.reused_sources += len(source_set) - len(dirty)
+        self.stats.rebuilt_sources += len(dirty)
+
+        # replay the clean sources' support commits per *edge* from the
+        # inverted index — O(edges), not O(events) — committing exactly
+        # the edges some clean source won (the dirty subset's re-run
+        # already committed its own at the kernel)
+        clean_won = [key for key, srcs in won_edge.items()
+                     if not srcs.issubset(dirty)]
+        if clean_won:
+            rec.commit_pairs(clean_won)
+        rec.add_trace(ExplorationTrace(
+            label=label, sources=tuple(centers), budget=budget,
+            capacity_words=capacity_words,
+            threshold=tuple(rule.threshold), strict=rule.strict,
+            exempt_sources=rule.exempt_sources, events=events,
+            index=(applied, won_edge)))
+
+        return _reconstruct(view, n, centers, budget, capacity_words,
+                            events)
+
+    # -- the detection hook ------------------------------------------
+    def detect(self, graph: WeightedGraph, sources: Sequence[int],
+               hop_bound: int, eps: float, bfs_tree, mode: str,
+               join_rule: Optional[JoinRule],
+               label: str) -> SourceDetectionResult:
+        """The ``detection_hook`` of ``build_approx_clusters``: serve a
+        :func:`detect_sources` call by splicing the recorded
+        :class:`~repro.graphs.recording.DetectionTrace` where sound."""
+        self.stats.calls += 1
+        result = self._try_splice_detection(graph, sources, hop_bound,
+                                            eps, bfs_tree, mode,
+                                            join_rule, label)
+        if result is not None:
+            self.stats.spliced_calls += 1
+            return result
+        self.stats.rerun_calls += 1
+        return detect_sources(graph, sources, hop_bound, eps,
+                              bfs_tree=bfs_tree, mode=mode,
+                              join_rule=join_rule, trace_label=label)
+
+    def _try_splice_detection(self, graph: WeightedGraph,
+                              sources: Sequence[int], hop_bound: int,
+                              eps: float, bfs_tree, mode: str,
+                              join_rule: Optional[JoinRule],
+                              label: str
+                              ) -> Optional[SourceDetectionResult]:
+        n = graph.num_vertices
+        trace = self._traces.get(label)
+        if not isinstance(trace, DetectionTrace):
+            self._fallback(label, "no-trace")
+            return None
+        rec = _recording.active()
+        if rec is None or not rec.capture_explorations:
+            self._fallback(label, "no-capturing-recorder")
+            return None
+        if trace.sources != tuple(sorted(set(sources))):
+            self._fallback(label, "sources-changed")
+            return None
+        if (trace.hop_bound != hop_bound or trace.eps != eps
+                or trace.mode != mode):
+            self._fallback(label, "shape-changed")
+            return None
+        if _scale_parameters(graph, hop_bound) != trace.num_scales:
+            # num_scales is the only max-weight input of the call: a
+            # batch that shifts the power-of-two band changes every
+            # scale's rounding unit, invalidating all per-unit evidence
+            self._fallback(label, "scale-grid-changed")
+            return None
+        if join_rule is not None and len(join_rule.threshold) != n:
+            self._fallback(label, "threshold-shape")
+            return None
+
+        # Per-edge changed-unit test: a weight change invisible at a
+        # rounding unit (equal ceilings) is invisible to that entire
+        # scale; the raw pseudo-unit ``None`` absorbs nothing.  An
+        # *increase* dirties exactly the sources that committed the
+        # edge as a winner at a changed unit (a never-winning candidate
+        # lost a strict comparison and keeps losing when heavier); a
+        # *decrease* dirties the sources whose hop-``B`` reach set —
+        # the finite-cell set, identical at every scale because rounded
+        # weights stay finite — contains an endpoint (a candidate can
+        # only cross the edge from an already-reached endpoint).
+        touched: Optional[Dict[int, Set[int]]] = None
+        dirty: Set[int] = set()
+        for u, v, base, cur in self._net:
+            if base is None or cur is None:      # defensive: weight-only
+                self._fallback(label, "topology-in-net")
+                return None
+            changed = {unit for unit in trace.units
+                       if unit is None
+                       or math.ceil(base / unit) != math.ceil(cur / unit)}
+            if not changed:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if cur > base:
+                for s, per_edge in trace.commits.items():
+                    if s in dirty:
+                        continue
+                    bucket = per_edge.get(key)
+                    if bucket is not None and bucket & changed:
+                        dirty.add(s)
+            else:
+                if touched is None:
+                    touched = {}
+                    for s, row in trace.cells.items():
+                        for w, _val, _p in row:
+                            touched.setdefault(w, set()).add(s)
+                dirty |= touched.get(u, _EMPTY)
+                dirty |= touched.get(v, _EMPTY)
+
+        dirty &= set(trace.sources)
+
+        # the full run notes its scale grid unconditionally; keep that
+        # side effect (idempotent when the dirty sub-run re-notes it)
+        rec.note_scale_grid(hop_bound, trace.num_scales)
+
+        cells: Dict[int, Tuple] = dict(trace.cells)
+        commits = dict(trace.commits)
+        if dirty:
+            detect_sources(graph, sorted(dirty), hop_bound, eps,
+                           bfs_tree=bfs_tree, mode=mode,
+                           join_rule=join_rule, trace_label=_SUB_LABEL)
+            subtrace = rec.pop_trace(_SUB_LABEL)
+            if subtrace is None:               # kernel path not tracing
+                self._fallback(label, "subset-not-traced")
+                return None
+            cells.update(subtrace.cells)
+            commits.update(subtrace.commits)
+        self.stats.reused_sources += len(trace.sources) - len(dirty)
+        self.stats.rebuilt_sources += len(dirty)
+
+        # replay the clean sources' per-unit support commits (the dirty
+        # subset's re-run already committed its own at the kernel)
+        rec.merge_edge_units(
+            (key, bucket)
+            for s in trace.sources if s not in dirty
+            for key, bucket in trace.commits[s].items())
+        rec.add_trace(DetectionTrace(
+            label=label, sources=trace.sources, hop_bound=hop_bound,
+            eps=eps, mode=mode, num_scales=trace.num_scales,
+            units=trace.units, cells=cells, commits=commits))
+
+        # materialize exactly as detect_sources does: iterate sources
+        # in sorted order (dict insertion order feeds the virtual-graph
+        # walk and with it the hopset rng trajectory), re-filter the
+        # unfiltered cells under the call's join rule
+        estimate: List[Dict[int, float]] = [dict() for _ in range(n)]
+        parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+        for s in trace.sources:
+            exempt = (join_rule is None
+                      or (join_rule.exempt_sources is not None
+                          and s in join_rule.exempt_sources))
+            if exempt:
+                for u, value, p in cells[s]:
+                    estimate[u][s] = value
+                    parent[u][s] = p
+            else:
+                thr = join_rule.threshold
+                strict = join_rule.strict
+                for u, value, p in cells[s]:
+                    if u != s and not (value < thr[u] if strict
+                                       else value <= thr[u]):
+                        continue
+                    estimate[u][s] = value
+                    parent[u][s] = p
+
+        height = bfs_tree.height if bfs_tree is not None else 0
+        rounds = _charged_rounds(len(trace.sources), hop_bound, eps,
+                                 height, trace.num_scales)
+        return SourceDetectionResult(sources=list(trace.sources),
+                                     estimate=estimate, parent=parent,
+                                     rounds=rounds, hop_bound=hop_bound,
+                                     eps=eps, mode=mode)
+
+
+def _reconstruct(view, n: int, sources: Sequence[int], budget: int,
+                 capacity_words: int,
+                 events: Dict[int, List[Tuple[int, int, int, float]]]
+                 ) -> ExplorationResult:
+    """Rebuild an :class:`ExplorationResult` from merged event streams.
+
+    Mirrors the kernel loop's accounting exactly:
+
+    * ``iterations`` counts charged (non-empty-frontier) iterations —
+      one past the last applied update when the budget allows, because
+      the final frontier is charged even if all of its candidates are
+      rejected;
+    * iteration 1's congestion is the source multiset's max
+      multiplicity; iteration ``t``'s is the max per-vertex count of
+      sources applied at that vertex in iteration ``t - 1``;
+    * the max-estimates statistic samples, per iteration, the
+      out-neighborhood of the *previous* frontier after the current
+      iteration's updates are applied.
+    """
+    by_iter: Dict[int, List[Tuple[int, int]]] = {}
+    last = 0
+    for s, evs in events.items():
+        for t, v, _via, _d in evs:
+            by_iter.setdefault(t, []).append((s, v))
+            if t > last:
+                last = t
+    executed = 0 if budget <= 0 or not sources else min(last + 1, budget)
+
+    per_iter_words: List[int] = []
+    if executed >= 1:
+        per_iter_words.append(
+            max(Counter(sources).values()) * _ESTIMATE_WORDS)
+        for t in range(2, executed + 1):
+            cnt = Counter(v for _s, v in by_iter[t - 1])
+            per_iter_words.append(max(cnt.values()) * _ESTIMATE_WORDS)
+    rounds = congestion_rounds(per_iter_words, capacity_words)
+
+    src_sorted = sorted(set(sources))
+    live: Counter = Counter(src_sorted)
+    have: Set[Tuple[int, int]] = {(s, s) for s in src_sorted}
+    frontier: List[int] = src_sorted
+    max_live = 0
+    for t in range(1, executed + 1):
+        sampled = frontier_neighbors(view, frontier)
+        updates = by_iter.get(t, ())
+        for s, v in updates:
+            if (s, v) not in have:
+                have.add((s, v))
+                live[v] += 1
+        if len(sampled):
+            m = max(live[int(v)] for v in sampled)
+            if m > max_live:
+                max_live = m
+        frontier = sorted({v for _s, v in updates})
+
+    dist: List[Dict[int, float]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
+    for s in src_sorted:
+        dist[s][s] = 0.0
+        parent[s][s] = None
+    for s in sorted(events):
+        for _t, v, via, d in events[s]:
+            dist[v][s] = d
+            parent[v][s] = via
+    return ExplorationResult(dist=dist, parent=parent,
+                             iterations=executed, rounds=rounds,
+                             max_estimates_per_node=max_live)

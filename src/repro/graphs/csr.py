@@ -265,6 +265,17 @@ def _relax_scalar(view, dist_row, frontier, weights,
             [cand[t][1] for t in targets])
 
 
+def out_neighbors(view: CSRView, v: int) -> List[int]:
+    """``v``'s out-neighbors in CSR (= insertion) order, as a list.
+
+    The scalar companion to :func:`frontier_neighbors`, shared by the
+    cluster-splice dependency tests (:mod:`repro.dynamic.splice`) so
+    reach/scan sets are computed identically with and without numpy.
+    """
+    nbrs = view.indices[view.indptr[v]:view.indptr[v + 1]]
+    return nbrs.tolist() if view.vectorized else list(nbrs)
+
+
 def frontier_neighbors(view: CSRView, frontier: Sequence[int]):
     """The union of the frontier's out-neighborhoods, ascending.
 

@@ -399,7 +399,9 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
                       eps_override: float, detection_mode: str,
                       capacity_words: int, use_tz_trick: bool,
                       engine: Optional[str],
-                      forest_builder=None) -> "ConstructionReport":
+                      forest_builder=None,
+                      cluster_explorer=None,
+                      detection_hook=None) -> "ConstructionReport":
     """The full pipeline body (hierarchy → clusters → forest → tables).
 
     This is the implementation the deprecated ``construct_scheme``
@@ -409,6 +411,11 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
     (same signature as :func:`build_forest_routing`); the incremental
     control plane passes a wrapper that reuses per-tree schemes whose
     inputs are provably unchanged.  Default is the normal builder.
+    ``cluster_explorer`` likewise substitutes the small-level
+    exploration calls and ``detection_hook`` the middle-level /
+    large-scale source-detection calls (the ``clusters`` strategy's
+    per-source splices); both must be result-identical to the plain
+    call.
     """
     from .core.scheme_builder import ConstructionReport
 
@@ -416,7 +423,9 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
                                      eps_override=eps_override,
                                      detection_mode=detection_mode,
                                      capacity_words=capacity_words,
-                                     engine=engine)
+                                     engine=engine,
+                                     small_level_explorer=cluster_explorer,
+                                     detection_hook=detection_hook)
     ledger = CostLedger()
     ledger.merge(clusters.ledger)
 

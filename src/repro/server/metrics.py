@@ -21,7 +21,9 @@ the load generator, and the benchmark all report the same numbers.
 
 from __future__ import annotations
 
+import math
 from collections import deque
+from fractions import Fraction
 from typing import Callable, Dict, List, Optional
 
 #: Default bounded-reservoir size for per-request latencies.
@@ -36,11 +38,20 @@ def percentile(sorted_samples: List[float], q: float) -> float:
 
     Nearest-rank (not interpolated) so a reported p99 is always a
     latency some request actually experienced.
+
+    The rank ``ceil(n * q / 100)`` is computed in exact integer
+    arithmetic: ``q`` is taken at its decimal face value (via
+    ``Fraction(str(q))``), so e.g. ``q = 99.0`` over ``n = 100``
+    samples is rank 99 exactly — never rank 100 through a float
+    rounding of ``n * q / 100``.
     """
     if not sorted_samples:
         raise ValueError("percentile of an empty sample set")
-    rank = max(1, -(-len(sorted_samples) * q // 100))  # ceil
-    return sorted_samples[int(rank) - 1]
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    frac = Fraction(str(q)) * len(sorted_samples) / 100
+    rank = max(1, math.ceil(frac))
+    return sorted_samples[rank - 1]
 
 
 class LatencyRecorder:
@@ -60,9 +71,17 @@ class LatencyRecorder:
         return len(self._samples)
 
     def summary(self) -> Dict[str, float]:
-        """``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`` over the
-        current window (zeros when nothing was observed yet)."""
-        out: Dict[str, float] = {"count": self.count}
+        """``{count, window, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``.
+
+        ``count`` is the all-time observation total; ``window`` is how
+        many samples the bounded reservoir currently holds — the
+        population every other statistic here is computed over.  Keeping
+        them separate stops an all-time count from masquerading as the
+        sample size of window-scoped percentiles (zeros when nothing was
+        observed yet).
+        """
+        out: Dict[str, float] = {"count": self.count,
+                                 "window": len(self._samples)}
         if not self._samples:
             out.update({"mean_ms": 0.0, "max_ms": 0.0})
             out.update({f"p{int(q)}_ms": 0.0 for q in PERCENTILES})

@@ -201,6 +201,12 @@ def detect_sources_reference(graph: WeightedGraph, sources: Sequence[int],
     n = graph.num_vertices
     height = bfs_tree.height if bfs_tree is not None else 0
     num_scales = _scale_parameters(graph, hop_bound)
+    rec = _recording.active()
+    if rec is not None:
+        # the scale grid is the build's only max-weight input: noting
+        # (B -> num_scales) lets the incremental builder certify weight
+        # increases that stay inside the same power-of-two band
+        rec.note_scale_grid(hop_bound, num_scales)
 
     estimate: List[Dict[int, float]] = [dict() for _ in range(n)]
     parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
@@ -261,7 +267,8 @@ def _scale_units(eps_internal: float, hop_bound: int,
 
 
 def _advance_matrix_np(view: CSRView, dist, par, hop_bound: int,
-                       weights, sources, unit=None) -> None:
+                       weights, sources, unit=None,
+                       capture=None) -> None:
     """``hop_bound`` hops of one scale's ``|V'| × n`` matrix, vectorized.
 
     One *union* frontier drives every row: relaxing a row from a vertex
@@ -336,13 +343,23 @@ def _advance_matrix_np(view: CSRView, dist, par, hop_bound: int,
             rec.commit_pairs(
                 zip(vias[rows_i, cols_i].tolist(),
                     targets[cols_i].tolist()), unit)
+        if capture is not None:
+            for r, via, t in zip(grows.tolist(),
+                                 vias[rows_i, cols_i].tolist(),
+                                 targets[cols_i].tolist()):
+                key = (via, t) if via < t else (t, via)
+                per_edge = capture[r]
+                bucket = per_edge.get(key)
+                if bucket is None:
+                    bucket = per_edge[key] = set()
+                bucket.add(unit)
         touched = _np.zeros(targets.size, dtype=bool)
         touched[cols_i] = True
         frontier = targets[touched]        # targets ascending already
 
 
 def _advance_rows_py(view: CSRView, rows, parents, hop_bound: int,
-                     weights, sources, unit=None) -> None:
+                     weights, sources, unit=None, capture=None) -> None:
     """The same matrix advance on list rows (no-numpy fallback).
 
     Rows keep their own frontiers here: without vectorization the union
@@ -359,9 +376,17 @@ def _advance_rows_py(view: CSRView, rows, parents, hop_bound: int,
                                                   weights, unit=unit)
             row = rows[r]
             par = parents[r]
+            per_edge = capture[r] if capture is not None else None
             for idx, t in enumerate(targets):
                 row[t] = dists[idx]
-                par[t] = vias[idx]
+                via = vias[idx]
+                par[t] = via
+                if per_edge is not None:
+                    key = (via, t) if via < t else (t, via)
+                    bucket = per_edge.get(key)
+                    if bucket is None:
+                        bucket = per_edge[key] = set()
+                    bucket.add(unit)
             frontiers[r] = targets
         if not active:
             break
@@ -369,7 +394,7 @@ def _advance_rows_py(view: CSRView, rows, parents, hop_bound: int,
 
 def _detect_vectorized(view: CSRView, source_list: List[int],
                        hop_bound: int, units: List[Optional[float]],
-                       n: int):
+                       n: int, capture=None):
     """Per-scale ``|V'| × n`` matrix runs with a sequential merge.
 
     Scales advance one at a time: only one rounded-weight array (2m
@@ -393,7 +418,7 @@ def _detect_vectorized(view: CSRView, source_list: List[int],
         par = _np.full((num_sources, n), -1, dtype=_np.int64)
         dist[rows_idx, src] = 0.0
         _advance_matrix_np(view, dist, par, hop_bound, weights,
-                           source_list, unit=unit)
+                           source_list, unit=unit, capture=capture)
         improved = dist < best
         best = _np.where(improved, dist, best)
         best_parent = _np.where(improved, par, best_parent)
@@ -404,7 +429,8 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
                    hop_bound: int, eps: float,
                    bfs_tree: Optional[BFSTree] = None,
                    mode: str = "rounded",
-                   join_rule: Optional[JoinRule] = None
+                   join_rule: Optional[JoinRule] = None,
+                   trace_label: Optional[str] = None
                    ) -> SourceDetectionResult:
     """Run [Nan14] Theorem-1 source detection (batched implementation).
 
@@ -430,6 +456,13 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
         materializing the estimate dictionaries; propagation, parents,
         recorded support and round charges are those of the unfiltered
         detection.
+    trace_label:
+        When a capturing :class:`~repro.graphs.recording.SupportRecorder`
+        is active, store a per-source
+        :class:`~repro.graphs.recording.DetectionTrace` under this label
+        (the unfiltered finite cells plus each source's per-unit
+        committed winner edges) so the incremental builder's
+        ``clusters`` strategy can splice this call.
 
     Bit-identical to :func:`detect_sources_reference`; see the module
     docstring for the batching scheme.
@@ -438,6 +471,12 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
     n = graph.num_vertices
     height = bfs_tree.height if bfs_tree is not None else 0
     num_scales = _scale_parameters(graph, hop_bound)
+    rec = _recording.active()
+    if rec is not None:
+        # the scale grid is the build's only max-weight input: noting
+        # (B -> num_scales) lets the incremental builder certify weight
+        # increases that stay inside the same power-of-two band
+        rec.note_scale_grid(hop_bound, num_scales)
 
     estimate: List[Dict[int, float]] = [dict() for _ in range(n)]
     parent: List[Dict[int, Optional[int]]] = [dict() for _ in range(n)]
@@ -463,9 +502,15 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
         units = [u for u in _scale_units(eps / 2.0, hop_bound, num_scales)
                  if u > 0]
 
+    capture = None
+    if (trace_label is not None and rec is not None
+            and rec.capture_explorations):
+        capture = [dict() for _ in source_list]
+
     if vectorized:
         best, best_parent = _detect_vectorized(view, source_list,
-                                               hop_bound, units, n)
+                                               hop_bound, units, n,
+                                               capture=capture)
     else:
         raw = view.weights.tolist() if view.vectorized else view.weights
         best = [[INF] * n for _ in range(num_sources)]
@@ -478,7 +523,7 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
             for r, s in enumerate(source_list):
                 rows[r][s] = 0.0
             _advance_rows_py(view, rows, parents, hop_bound, weights,
-                             source_list, unit=unit)
+                             source_list, unit=unit, capture=capture)
             # merge: per (source, vertex), a strictly smaller scale
             # value wins (the reference's `dist[u] < best[u]` check).
             for r in range(num_sources):
@@ -527,6 +572,33 @@ def detect_sources(graph: WeightedGraph, sources: Sequence[int],
                 else float(value)
             p = int(bprow[u])
             parent[u][s] = None if p < 0 else p
+
+    if capture is not None:
+        # unfiltered finite cells: the join rule only filters at
+        # materialization, so a later build can re-filter these cells
+        # under a changed rule without re-running the propagation
+        cells: Dict[int, Tuple] = {}
+        for r, s in enumerate(source_list):
+            brow = best[r]
+            bprow = best_parent[r]
+            if vectorized:
+                finite_all = _np.nonzero(brow < INF)[0].tolist()
+            else:
+                finite_all = [u for u in range(n) if brow[u] < INF]
+            row_cells = []
+            for u in finite_all:
+                u = int(u)
+                value = brow[u]
+                value = int(value) if (exact or u == s) else float(value)
+                p = int(bprow[u])
+                row_cells.append((u, value, None if p < 0 else p))
+            cells[s] = tuple(row_cells)
+        rec.add_trace(_recording.DetectionTrace(
+            label=trace_label, sources=tuple(source_list),
+            hop_bound=hop_bound, eps=eps, mode=mode,
+            num_scales=num_scales, units=tuple(units), cells=cells,
+            commits={s: capture[r]
+                     for r, s in enumerate(source_list)}))
     return result
 
 

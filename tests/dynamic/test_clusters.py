@@ -1,0 +1,126 @@
+"""Cluster-scoped rebuild grid: on a degree-6 random workload with
+n >= 200, a single-edge weight-flap series must take the ``clusters``
+strategy on every step — the dispatch counters prove there is no silent
+fallback to ``partial`` — and every spliced build must be bit-identical
+(flat + dense artifact bytes, ledger rounds) to a from-scratch
+``SchemePipeline`` run.  CI re-executes this file without numpy, which
+drives the bucketed kernel's capture/splice path through the same grid.
+"""
+
+import pytest
+
+from repro.dynamic import IncrementalBuilder, TopologyFeed
+from repro.pipeline import SchemePipeline, make_workload
+
+#: Degree-6 ("random" workload = edge probability 6/n) at the n >= 200
+#: scale where the small levels carry enough sources for splicing to
+#: have real reuse to demonstrate.
+N, K, SEED = 200, 2, 5
+
+FLAP_DELTA = 25
+FLAP_CYCLES = 2
+
+
+def artifact_bytes(artifact):
+    bufs = artifact.export_buffers()
+    return (repr(bufs.meta), repr(bufs.manifest), bufs.payload)
+
+
+def scratch_build(graph, k, seed):
+    """Ground truth: a cold pipeline run on a copy of the graph."""
+    pipe = SchemePipeline().graph(graph.copy()).params(k).seed(seed)
+    flat = pipe.compile("flat")
+    dense = pipe.compile("dense")
+    return flat, dense, pipe.build().rounds
+
+
+def assert_matches_scratch(report, graph, k, seed):
+    flat, dense, rounds = scratch_build(graph, k, seed)
+    assert artifact_bytes(report.compiled) == artifact_bytes(flat)
+    assert artifact_bytes(report.dense) == artifact_bytes(dense)
+    assert report.rounds == rounds
+
+
+def make_builder(**kwargs):
+    graph = make_workload("random", N, seed=SEED).graph
+    feed = TopologyFeed(graph)
+    builder = IncrementalBuilder(feed, k=K, seed=SEED, **kwargs)
+    builder.build()
+    return graph, feed, builder
+
+
+def supported_edge(graph, builder):
+    """First sorted edge the construction committed as a winner.
+
+    Its increase can never certify as compile-only (a committed winner
+    fails ``certifies_increase``), and its restore is a decrease (never
+    certified) — so both halves of the flap must dispatch past
+    compile-only, i.e. to ``clusters``.
+    """
+    units = builder.current.recorder.units
+    for u, v, w in sorted(graph.edges()):
+        if ((u, v) if u < v else (v, u)) in units:
+            return u, v, w
+    pytest.fail("construction committed no winner edge?")
+
+
+def test_flap_series_takes_clusters_every_step():
+    # cache_size=1: the restore's fingerprint matches the evicted
+    # baseline generation, so both flap halves must actually rebuild
+    graph, feed, builder = make_builder(cache_size=1)
+    u, v, w = supported_edge(graph, builder)
+
+    for _cycle in range(FLAP_CYCLES):
+        for new_w in (w + FLAP_DELTA, w):
+            feed.update_edge_weight(u, v, new_w)
+            report = builder.rebuild()
+            assert report.strategy == "clusters"
+            assert report.splice_fallbacks == ()
+            assert report.reused_clusters > report.rebuilt_clusters
+            assert report.spliced_levels >= 1
+            assert_matches_scratch(report, graph, K, SEED)
+
+    # dispatch counters: every rebuild in the series went through
+    # clusters — nothing silently fell back to partial or full
+    by_strategy = builder.stats()["by_strategy"]
+    assert by_strategy.get("clusters", 0) == 2 * FLAP_CYCLES
+    assert by_strategy.get("partial", 0) == 0
+    assert by_strategy.get("full", 0) == 0
+    assert by_strategy.get("initial", 0) == 1
+
+
+def test_disabling_clusters_falls_back_to_partial():
+    """Ablation: same flap, ``enable_clusters=False`` — dispatch lands
+    on ``partial`` and still matches scratch (clusters is purely an
+    optimization over an always-sound fallback)."""
+    graph, feed, builder = make_builder(cache_size=1,
+                                        enable_clusters=False)
+    u, v, w = supported_edge(graph, builder)
+
+    feed.update_edge_weight(u, v, w + FLAP_DELTA)
+    spike = builder.rebuild()
+    assert spike.strategy == "partial"
+    assert spike.spliced_levels == 0
+    assert_matches_scratch(spike, graph, K, SEED)
+
+    feed.update_edge_weight(u, v, w)
+    restore = builder.rebuild()
+    assert restore.strategy == "partial"
+    assert_matches_scratch(restore, graph, K, SEED)
+
+    assert builder.stats()["by_strategy"].get("clusters", 0) == 0
+
+
+def test_decrease_on_touched_vertex_splices_dirty_subset():
+    """A decrease dirties exactly the sources whose reach set touches
+    an endpoint: some sources rebuild, the (large) rest splice."""
+    graph, feed, builder = make_builder()
+    u, v, w = supported_edge(graph, builder)
+
+    feed.update_edge_weight(u, v, max(1, w - 1) if w > 1 else w + 1)
+    report = builder.rebuild()
+    assert report.strategy == "clusters"
+    assert report.splice_fallbacks == ()
+    assert report.reused_clusters + report.rebuilt_clusters > 0
+    assert report.reused_clusters > report.rebuilt_clusters
+    assert_matches_scratch(report, graph, K, SEED)

@@ -109,6 +109,22 @@ class TestMutations:
         assert sorted((graph.weight(x, y) for x, y, _ in removed)) == \
             sorted(wt for _, _, wt in removed)
 
+    def test_fail_node_round_trips_positionally(self, feed, graph):
+        """The docstring promises ``(u, v, weight)`` — neighbor first,
+        failed vertex second — so a caller can consume the tuples
+        positionally when staging a restore."""
+        victim = max(graph.vertices(), key=graph.degree)
+        before = {(u, wt)
+                  for u, wt in graph.neighbor_weights(victim)}
+        removed = feed.fail_node(victim)
+        assert {(u, wt) for u, v, wt in removed} == before
+        for u, v, wt in removed:
+            assert v == victim
+            assert u != victim
+            feed.restore_edge(u, v, wt)
+        for u, v, wt in removed:
+            assert graph.weight(u, v) == wt
+
 
 class TestClassification:
 
@@ -159,6 +175,26 @@ class TestClassification:
         # classified net-zero
         assert batch.topology_changed and not batch.net_zero
         assert len(batch.net) == 0
+
+    def test_fail_restore_same_weight_stays_topology(self, feed, graph):
+        """Regression: ``fail_edge`` then a *same-weight*
+        ``restore_edge`` nets to zero weight-wise — ``net`` is empty —
+        yet the batch must still classify as a topology change.  The
+        re-added edge appends to the end of both endpoints' adjacency
+        lists, so port numbering (and every compiled forwarding table
+        derived from it) can shift even though the weighted edge set is
+        identical; the fingerprint is deliberately sensitive to
+        adjacency order so such batches force a full rebuild instead of
+        being waved through as net-zero."""
+        u, v, w = first_edge(graph)
+        feed.fail_edge(u, v)
+        feed.restore_edge(u, v, w)
+        batch = feed.pending()
+        assert batch.topology_changed
+        assert not batch.net_zero
+        assert len(batch.net) == 0
+        assert sorted(graph.edges()) == sorted(feed.graph.edges())
+        assert feed.fingerprint() != feed.baseline_fingerprint
 
     def test_mark_rebuilt_clears(self, feed, graph):
         u, v, w = first_edge(graph)

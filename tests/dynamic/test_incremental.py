@@ -45,7 +45,7 @@ def nth_edge(graph, i):
 def jitter_one(feed):
     u, v, w = nth_edge(feed.graph, 5)
     feed.update_edge_weight(u, v, w + 3)
-    return {"partial", "compile-only"}
+    return {"clusters", "compile-only"}
 
 
 def jitter_batch(count):
@@ -56,7 +56,7 @@ def jitter_batch(count):
         for i, (u, v, w) in enumerate(edges[:count]):
             delta = (i % 5) - 2 or 1  # mixed increases and decreases
             feed.update_edge_weight(u, v, max(1, w + delta))
-        return {"partial", "compile-only"}
+        return {"clusters", "compile-only"}
     return mutate
 
 
@@ -64,10 +64,10 @@ def decrease_one(feed):
     for u, v, w in sorted(feed.graph.edges()):
         if w > 1:
             feed.update_edge_weight(u, v, w - 1)
-            return {"partial"}
+            return {"clusters"}
     u, v, w = nth_edge(feed.graph, 0)  # all-unit graph: bump one up
     feed.update_edge_weight(u, v, w + 1)
-    return {"partial", "compile-only"}
+    return {"clusters", "compile-only"}
 
 
 def remove_edge(feed):
@@ -108,7 +108,9 @@ def add_edge(feed):
 def bump_max_weight(feed):
     u, v, w = max(sorted(feed.graph.edges()), key=lambda e: e[2])
     feed.update_edge_weight(u, v, w * 2)
-    return {"partial"}  # scale grid may shift: compile-only forbidden
+    # scale grid may shift (forbidding compile-only) or stay inside the
+    # same power-of-two band (the sharper per-grid guard may certify)
+    return {"clusters", "compile-only"}
 
 
 SCENARIOS = [
@@ -166,7 +168,8 @@ class TestReuseCache:
         u, v, w = nth_edge(graph, 7)
         feed.update_edge_weight(u, v, w + 40)
         spike = builder.rebuild()
-        assert spike.strategy in ("partial", "compile-only", "full")
+        assert spike.strategy in ("clusters", "partial", "compile-only",
+                                  "full")
         feed.update_edge_weight(u, v, w)
         restore = builder.rebuild()
         assert restore.strategy == "reuse" and restore.cache_hit
@@ -263,8 +266,20 @@ class TestCompileOnly:
         u, v, w = uncertified
         feed.update_edge_weight(u, v, w + 50)
         report = builder.rebuild()
-        assert report.strategy == "partial"
+        assert report.strategy == "clusters"
         assert report.fallback_reason is not None
+        assert_matches_scratch(report, graph, 2, 3)
+
+    def test_uncertified_increase_without_traces_takes_partial(self):
+        graph = make_workload("random", 60, seed=3).graph
+        feed = TopologyFeed(graph)
+        builder = IncrementalBuilder(feed, k=2, seed=3)
+        builder.build()
+        builder.current.recorder.traces.clear()  # e.g. a pre-trace entry
+        u, v, w = nth_edge(graph, 5)
+        feed.update_edge_weight(u, v, w + 50)
+        report = builder.rebuild()
+        assert report.strategy == "partial"
         assert_matches_scratch(report, graph, 2, 3)
 
 
@@ -278,9 +293,13 @@ class TestPartialReuse:
         u, v, w = nth_edge(graph, 11)
         feed.update_edge_weight(u, v, w + 2)
         report = builder.rebuild()
-        if report.strategy == "partial":
+        if report.strategy in ("partial", "clusters"):
             assert report.reused_trees > 0
             assert report.reused_trees >= report.rebuilt_trees
+        if report.strategy == "clusters":
+            # a single jittered edge dirties few of the level sources
+            assert report.reused_clusters > report.rebuilt_clusters
+            assert not report.splice_fallbacks
         assert_matches_scratch(report, graph, 2, 3)
 
 

@@ -118,6 +118,45 @@ class TestLifecycle:
             registry.get(99)
 
 
+class TestManifestDurability:
+
+    def test_no_temp_file_lingers(self, registry, compiled):
+        registry.publish(compiled)
+        registry.pin(1)
+        registry.unpin(1)
+        registry.publish(compiled)
+        registry.retire(2)
+        leftovers = [p.name for p in registry.root.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_manifest_fsynced_before_replace(self, registry, compiled,
+                                             monkeypatch):
+        """The atomicity claim needs the temp manifest flushed to disk
+        *before* the rename — an os.replace of a dirty temp file can
+        surface as an empty manifest after a crash."""
+        import os
+        synced = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            if str(dst) == str(registry.manifest_path):
+                assert synced, \
+                    "temp manifest renamed without a prior fsync"
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        registry.publish(compiled)
+        assert synced
+        assert json.loads(registry.manifest_path.read_text())[
+            "next_generation"] == 2
+
+
 class TestIntegrity:
 
     def test_checksum_mismatch_detected(self, registry, compiled):

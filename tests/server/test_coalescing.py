@@ -9,7 +9,9 @@ observable.
 """
 
 import asyncio
+from fractions import Fraction
 
+import pytest
 from server_helpers import run
 
 from repro.server import RequestBroker
@@ -129,6 +131,7 @@ def test_metrics_latency_accounting(compiled, query_pairs):
             assert snap["failed"] == 0
             lat = snap["latency"]
             assert lat["count"] == 50
+            assert lat["window"] == 50  # nothing evicted yet
             assert 0 < lat["p50_ms"] <= lat["p95_ms"] <= lat["p99_ms"]
             assert lat["max_ms"] >= lat["p99_ms"]
     run(main())
@@ -145,6 +148,37 @@ def test_percentile_nearest_rank():
     assert percentile([7.0], 50) == 7.0
 
 
+def _reference_nearest_rank(samples, q):
+    """Textbook nearest-rank in exact arithmetic: the smallest sample
+    whose rank r satisfies 100 * r / n >= q (rank 1 for q = 0)."""
+    n = len(samples)
+    rank = 1
+    while rank < n and Fraction(100) * rank / n < Fraction(str(q)):
+        rank += 1
+    return samples[rank - 1]
+
+
+def test_percentile_matches_reference_across_grid():
+    """Property check: exact integer-arithmetic rank agrees with a
+    reference nearest-rank over window sizes and q values, including
+    the boundary cases float arithmetic gets wrong (e.g. a float
+    ``n * q / 100`` of 98.99999... ceiling to the wrong rank)."""
+    qs = [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9,
+          100.0, 33.3, 66.6]
+    for n in list(range(1, 65)) + [100, 127, 128, 1000, 10_000]:
+        samples = [float(i) for i in range(1, n + 1)]
+        for q in qs:
+            assert percentile(samples, q) == \
+                _reference_nearest_rank(samples, q), (n, q)
+
+
+def test_percentile_rejects_out_of_range_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 100.1)
+
+
 def test_latency_recorder_window_bound():
     rec = LatencyRecorder(window=10)
     for i in range(100):
@@ -152,5 +186,8 @@ def test_latency_recorder_window_bound():
     assert rec.count == 100
     assert len(rec) == 10
     summary = rec.summary()
+    # count is all-time; window is the population the stats cover
+    assert summary["count"] == 100
+    assert summary["window"] == 10
     # only the last 10 samples (90..99 ms) are in the window
     assert summary["p50_ms"] >= 90.0

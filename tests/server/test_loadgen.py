@@ -29,8 +29,8 @@ from repro.server.loadgen import (
 REPORT_SCHEMA = {"mode", "op", "mix", "seed", "requests", "errors",
                  "duration_seconds", "achieved_rps", "latency"}
 
-LATENCY_SCHEMA = {"count", "mean_ms", "max_ms", "p50_ms", "p95_ms",
-                  "p99_ms"}
+LATENCY_SCHEMA = {"count", "window", "mean_ms", "max_ms", "p50_ms",
+                  "p95_ms", "p99_ms"}
 
 
 @pytest.mark.parametrize("mix", sorted(PAIR_MIXES))
@@ -83,6 +83,7 @@ def test_closed_loop_counts_and_schema(compiled):
     assert LATENCY_SCHEMA <= set(record["latency"])
     assert record["clients"] == 6
     assert record["latency"]["count"] == 90
+    assert record["latency"]["window"] == 90
     assert record["achieved_rps"] > 0
 
 

@@ -125,6 +125,7 @@ def check_invariants(attributions, snapshot, num_swaps):
     windows = snapshot["generation_windows"]
     assert sum(windows.values()) == snapshot["dispatches"]
     assert snapshot["swap_latency"]["count"] == num_swaps
+    assert snapshot["swap_latency"]["window"] == num_swaps
 
 
 def test_in_process_broker_two_swaps(compiled, estimation,
