@@ -151,6 +151,38 @@ def main() -> None:
         print(f"  incremental stats: {builder.stats()}")
     print("  (inspect a registry: python -m repro registry list DIR)")
 
+    print("\nStage 7 — watch it run: one telemetry plane across "
+          "build, serve, and swap...")
+    from repro.telemetry import (MetricsRegistry, Tracer,
+                                 format_span_tree, set_tracer)
+
+    tracer = Tracer(sample_every=1)   # debug rate: trace everything
+    set_tracer(tracer)
+    try:
+        asyncio.run(streaming_clients())
+    finally:
+        set_tracer(None)
+    spans = tracer.export()
+    chain = [s for s in spans
+             if s["trace_id"] == spans[0]["trace_id"]]
+    print("  one request's connected trace "
+          f"({len(spans)} spans recorded):")
+    for line in format_span_tree(chain).splitlines():
+        print(f"    {line}")
+
+    metrics = MetricsRegistry()
+    built.scheme.ledger.publish(metrics)
+    exposition = [line for line in metrics.render().splitlines()
+                  if line.startswith("repro_build_rounds_total")]
+    print(f"  build CostLedger as /metrics series "
+          f"({len(exposition)} per-phase round counters):")
+    for line in exposition[:4]:
+        print(f"    {line}")
+    print("  (live: python -m repro serve scheme.cra --port 8642 "
+          "--metrics-port 9100 --trace-jsonl trace.jsonl,")
+    print("   then: python -m repro telemetry snapshot --port 9100 "
+          "--summary; python -m repro telemetry tail trace.jsonl)")
+
 
 if __name__ == "__main__":
     main()

@@ -43,6 +43,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from .exceptions import ParameterError
 from .analysis import (
     GraphScale,
     evaluate_estimation,
@@ -213,7 +214,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _broker_from_artifacts(paths, args):
+def _broker_from_artifacts(paths, args, registry=None):
     """Load 1–2 artifacts, optionally wrap each in a RouterPool, and
     front them with one RequestBroker (closed by broker.aclose())."""
     from .core.compiled import CompiledEstimation
@@ -236,7 +237,8 @@ def _broker_from_artifacts(paths, args):
                          pool_kwargs={"policy": args.policy},
                          max_batch=args.max_batch,
                          max_wait_ms=args.max_wait_ms,
-                         max_pending=args.max_pending)
+                         max_pending=args.max_pending,
+                         registry=registry)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -245,11 +247,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from .server import TrafficServer
+    from .telemetry import MetricsRegistry, Tracer, set_tracer
+
+    trace_handle = None
+    if args.trace_jsonl:
+        trace_handle = open(args.trace_jsonl, "a", encoding="utf-8")
+        set_tracer(Tracer(sink=trace_handle,
+                          sample_every=args.trace_sample))
 
     async def run() -> None:
-        broker = _broker_from_artifacts(args.artifact, args)
+        registry = MetricsRegistry()
+        broker = _broker_from_artifacts(args.artifact, args,
+                                        registry=registry)
         server = TrafficServer(broker, host=args.host, port=args.port,
-                               unix_path=args.unix)
+                               unix_path=args.unix,
+                               metrics_port=args.metrics_port,
+                               registry=registry)
         await server.start()
         server.install_signal_handlers()
         kinds = [k for k, b in (("routing", broker.router),
@@ -257,16 +270,86 @@ def cmd_serve(args: argparse.Namespace) -> int:
                  if b is not None]
         backend = (f"pool of {args.workers} workers" if args.workers
                    else "in-process")
+        extras = ""
+        if server.metrics_port is not None:
+            extras = (f", metrics on http://{args.host}:"
+                      f"{server.metrics_port}/metrics")
+        if args.trace_jsonl:
+            extras += f", trace -> {args.trace_jsonl}"
         print(f"serving {'+'.join(kinds)} on {server.address} "
               f"({backend}, max_batch={broker.max_batch}, "
-              f"max_wait_ms={args.max_wait_ms:g}); "
+              f"max_wait_ms={args.max_wait_ms:g}{extras}); "
               "Ctrl-C for graceful shutdown", flush=True)
         await server.serve_forever()
         print("shutdown: drained; broker metrics:")
         print(json.dumps(broker.metrics.snapshot(), indent=2))
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        if trace_handle is not None:
+            set_tracer(None)
+            trace_handle.close()
     return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Live introspection: scrape a serving process or render traces.
+
+    ``snapshot`` fetches ``/metrics`` from a server started with
+    ``serve --metrics-port`` and prints the exposition text (optionally
+    one-line-per-family with ``--summary``); ``tail`` renders a JSONL
+    trace file (``serve --trace-jsonl``, or a tracer sink in your own
+    process) as indented span trees, optionally following appends.
+    """
+    import asyncio
+    import json
+    import time as _time
+
+    from .telemetry import parse_exposition
+    from .telemetry.http import scrape
+    from .telemetry.trace import format_span_tree, read_jsonl
+
+    if args.verb == "snapshot":
+        text = asyncio.run(scrape(args.host, args.port))
+        if args.summary:
+            for name, fam in sorted(parse_exposition(text).items()):
+                total = sum(v for labels, v in fam.samples.items()
+                            if not any(k == "__series__"
+                                       for k, _ in labels))
+                print(f"{name} ({fam.kind}): {len(fam.samples)} "
+                      f"series, sum={total:g}")
+        else:
+            print(text, end="")
+        return 0
+    if args.verb == "tail":
+        records = read_jsonl(args.file)
+        if args.limit and len(records) > args.limit:
+            records = records[-args.limit:]
+        if records:
+            print(format_span_tree(records))
+        if not args.follow:
+            return 0
+        with open(args.file, "r", encoding="utf-8") as handle:
+            handle.seek(0, 2)
+            try:
+                while True:
+                    line = handle.readline()
+                    if not line:
+                        _time.sleep(0.2)
+                        continue
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    print(format_span_tree([record]), flush=True)
+            except KeyboardInterrupt:
+                pass
+        return 0
+    raise ParameterError(f"unhandled telemetry verb {args.verb!r}")
 
 
 def cmd_bench_traffic(args: argparse.Namespace) -> int:
@@ -528,6 +611,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-pending", type=int, default=1024,
                          help="backpressure bound on queued "
                               "submissions")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="also serve HTTP GET /metrics "
+                              "(Prometheus text) and /healthz on "
+                              "PORT (0 = kernel-assigned)")
+    p_serve.add_argument("--trace-jsonl", metavar="FILE", default=None,
+                         help="enable tracing and append finished "
+                              "spans to FILE (render with "
+                              "`repro telemetry tail FILE`)")
+    p_serve.add_argument("--trace-sample", type=int, default=1,
+                         metavar="N",
+                         help="head-sample 1 in N requests (default 1: "
+                              "trace everything — this flag is a debug "
+                              "surface; long-running production "
+                              "tracers should raise it)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_traffic = sub.add_parser(
@@ -602,6 +700,30 @@ def build_parser() -> argparse.ArgumentParser:
     _reg("unpin", "remove a generation's pin", generation=True)
     _reg("retire", "delete a generation's payload (manifest row "
                    "kept)", generation=True)
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="scrape live metrics or render trace files")
+    tel_sub = p_tel.add_subparsers(dest="verb", required=True)
+    p_snap = tel_sub.add_parser(
+        "snapshot", help="fetch /metrics from a serving process")
+    p_snap.add_argument("--host", default="127.0.0.1")
+    p_snap.add_argument("--port", type=int, required=True,
+                        help="the server's --metrics-port")
+    p_snap.add_argument("--summary", action="store_true",
+                        help="one line per metric family instead of "
+                             "raw exposition text")
+    p_snap.set_defaults(func=cmd_telemetry)
+    p_tail = tel_sub.add_parser(
+        "tail", help="render a JSONL trace file as span trees")
+    p_tail.add_argument("file", help="JSONL trace file "
+                                     "(serve --trace-jsonl)")
+    p_tail.add_argument("--limit", type=int, default=256,
+                        help="render at most the last N spans")
+    p_tail.add_argument("--follow", action="store_true",
+                        help="keep printing spans as they are "
+                             "appended (Ctrl-C to stop)")
+    p_tail.set_defaults(func=cmd_telemetry)
 
     p_bounds = sub.add_parser("bounds",
                               help="print analytic round models")

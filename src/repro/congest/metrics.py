@@ -97,6 +97,45 @@ class CostLedger:
             out[phase.name] = out.get(phase.name, 0.0) + phase.seconds
         return out
 
+    def publish(self, registry, prefix: str = "repro_build") -> None:
+        """Export this ledger's totals into a telemetry registry.
+
+        One counter family per cost dimension, labeled by phase name —
+        ``<prefix>_rounds_total{phase=...}``, ``..._messages_total``,
+        ``..._words_total``, ``..._seconds_total`` — so a scrape shows
+        exactly the per-phase accounting :meth:`breakdown` and
+        :meth:`seconds_breakdown` report.  Counters only accumulate:
+        publishing two ledgers (e.g. successive rebuilds) into one
+        registry sums them, which is the fleet-facing view; per-run
+        numbers stay on the ledger itself.
+        """
+        rounds = registry.counter(
+            f"{prefix}_rounds_total",
+            "CONGEST rounds per construction phase",
+            labelnames=("phase",))
+        messages = registry.counter(
+            f"{prefix}_messages_total",
+            "CONGEST messages per construction phase",
+            labelnames=("phase",))
+        words = registry.counter(
+            f"{prefix}_words_total",
+            "CONGEST words per construction phase",
+            labelnames=("phase",))
+        seconds = registry.counter(
+            f"{prefix}_seconds_total",
+            "host wall-clock seconds per construction phase",
+            labelnames=("phase",))
+        by_phase: Dict[str, PhaseCost] = {}
+        for phase in self._phases:
+            merged = by_phase.get(phase.name)
+            by_phase[phase.name] = (phase if merged is None
+                                    else merged + phase)
+        for name, cost in by_phase.items():
+            rounds.labels(phase=name).inc(cost.rounds)
+            messages.labels(phase=name).inc(cost.messages)
+            words.labels(phase=name).inc(cost.words)
+            seconds.labels(phase=name).inc(cost.seconds)
+
     def __iter__(self) -> Iterator[PhaseCost]:
         return iter(self._phases)
 

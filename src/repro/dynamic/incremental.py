@@ -100,6 +100,8 @@ from ..exceptions import ParameterError
 from ..graphs.recording import SupportRecorder, recording
 from ..pipeline import _run_construction
 from ..sketches.source_detection import _scale_parameters
+from ..telemetry.registry import MetricsRegistry
+from ..telemetry.trace import maybe_span
 from .feed import ChangeBatch, TopologyFeed
 from .splice import ClusterSplicer
 
@@ -150,6 +152,12 @@ class RebuildReport:
     spliced_levels: int = 0
     rerun_levels: int = 0
     splice_fallbacks: Tuple[str, ...] = ()
+    #: Wall-clock seconds per rebuild stage (``classify`` — reading the
+    #: pending batch + fingerprint; ``certify`` — the increase
+    #: certification sweep, when attempted; ``construct`` — the chosen
+    #: strategy's build/compile body; ``install`` — cache + feed
+    #: baseline bookkeeping).  Stages sum to ~``duration_s``.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     # -- passthroughs ---------------------------------------------------
     @property
@@ -208,7 +216,8 @@ class IncrementalBuilder:
                  capacity_words: int = 2, use_tz_trick: bool = True,
                  engine: Optional[str] = None,
                  cache_size: int = 8,
-                 enable_clusters: bool = True) -> None:
+                 enable_clusters: bool = True,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if cache_size < 1:
             raise ParameterError(
                 f"cache_size must be >= 1, got {cache_size}")
@@ -223,6 +232,22 @@ class IncrementalBuilder:
         self._current: Optional[BuildEntry] = None
         self._counts: Dict[str, int] = {s: 0 for s in STRATEGIES}
         self._counts["initial"] = 0
+        reg = registry if registry is not None else MetricsRegistry()
+        self.registry = reg
+        self._m_strategy = reg.counter(
+            "repro_rebuild_strategy_total",
+            "rebuilds by chosen strategy and fallback reason "
+            "('none' when the strategy was not a fallback)",
+            labelnames=("strategy", "reason"))
+        self._m_splice_fallbacks = reg.counter(
+            "repro_rebuild_splice_fallbacks_total",
+            "per-call splice fallbacks by reason "
+            "(clusters strategy only)",
+            labelnames=("reason",))
+        self._m_stage_seconds = reg.counter(
+            "repro_rebuild_stage_seconds_total",
+            "wall-clock seconds per rebuild stage",
+            labelnames=("stage",))
 
     # -- public API -----------------------------------------------------
     @property
@@ -235,11 +260,20 @@ class IncrementalBuilder:
         afterwards equivalent to :meth:`rebuild`)."""
         if self._current is None:
             start = time.perf_counter()
-            entry = self._full_build()
+            with maybe_span("rebuild",
+                            attrs={"strategy": "initial"}):
+                entry = self._full_build()
+                construct_s = time.perf_counter() - start
+                t_install = time.perf_counter()
+                self._install(entry, "initial")
+            stage_seconds = {
+                "construct": construct_s,
+                "install": time.perf_counter() - t_install}
             report = RebuildReport(
                 strategy="initial", fingerprint=entry.fingerprint,
-                duration_s=time.perf_counter() - start, entry=entry)
-            self._install(entry, "initial")
+                duration_s=time.perf_counter() - start, entry=entry,
+                stage_seconds=stage_seconds)
+            self._emit_telemetry(report)
             return report
         return self.rebuild()
 
@@ -253,23 +287,48 @@ class IncrementalBuilder:
         if self._current is None:
             return self.build()
         start = time.perf_counter()
-        batch = self.feed.pending()
-        fp = self.feed.fingerprint()
-        strategy, entry, reason, reused, rebuilt, hit, splice = \
-            self._dispatch(batch, fp)
-        self._install(entry, strategy)
+        stage_seconds: Dict[str, float] = {}
+        with maybe_span("rebuild") as rebuild_span:
+            with maybe_span("rebuild.classify"):
+                batch = self.feed.pending()
+                fp = self.feed.fingerprint()
+            stage_seconds["classify"] = time.perf_counter() - start
+            with maybe_span("rebuild.strategy") as strategy_span:
+                strategy, entry, reason, reused, rebuilt, hit, splice = \
+                    self._dispatch(batch, fp, stage_seconds)
+                strategy_span.set(strategy=strategy,
+                                  reason=reason or "none")
+            t_install = time.perf_counter()
+            with maybe_span("rebuild.install"):
+                self._install(entry, strategy)
+            stage_seconds["install"] = time.perf_counter() - t_install
+            rebuild_span.set(strategy=strategy,
+                             fingerprint=fp[:12])
         report = RebuildReport(
             strategy=strategy, fingerprint=fp,
             duration_s=time.perf_counter() - start, entry=entry,
             batch=batch, fallback_reason=reason,
-            reused_trees=reused, rebuilt_trees=rebuilt, cache_hit=hit)
+            reused_trees=reused, rebuilt_trees=rebuilt, cache_hit=hit,
+            stage_seconds=stage_seconds)
         if splice is not None:
             report.reused_clusters = splice.reused_sources
             report.rebuilt_clusters = splice.rebuilt_sources
             report.spliced_levels = splice.spliced_calls
             report.rerun_levels = splice.rerun_calls
             report.splice_fallbacks = tuple(splice.fallbacks)
+        self._emit_telemetry(report)
         return report
+
+    def _emit_telemetry(self, report: RebuildReport) -> None:
+        """One strategy count (labeled with the fallback reason), the
+        per-call splice-fallback reasons, and the stage seconds."""
+        self._m_strategy.labels(
+            strategy=report.strategy,
+            reason=report.fallback_reason or "none").inc()
+        for fb_reason in report.splice_fallbacks:
+            self._m_splice_fallbacks.labels(reason=fb_reason).inc()
+        for stage, seconds in report.stage_seconds.items():
+            self._m_stage_seconds.labels(stage=stage).inc(seconds)
 
     def stats(self) -> Dict[str, object]:
         """Strategy counters and the honest fallback rate (full
@@ -284,7 +343,20 @@ class IncrementalBuilder:
         }
 
     # -- strategy dispatch ----------------------------------------------
-    def _dispatch(self, batch: ChangeBatch, fp: str):
+    def _timed(self, stage_seconds: Optional[Dict[str, float]],
+               stage: str, fn, *args):
+        """Run ``fn`` and accumulate its wall clock under ``stage``."""
+        start = time.perf_counter()
+        try:
+            return fn(*args)
+        finally:
+            if stage_seconds is not None:
+                stage_seconds[stage] = (
+                    stage_seconds.get(stage, 0.0)
+                    + time.perf_counter() - start)
+
+    def _dispatch(self, batch: ChangeBatch, fp: str,
+                  stage_seconds: Optional[Dict[str, float]] = None):
         """Returns (strategy, entry, fallback_reason, reused, rebuilt,
         cache_hit, splice_stats)."""
         cached = self._cache.get(fp)
@@ -294,25 +366,31 @@ class IncrementalBuilder:
                     fp != self._current.fingerprint, None)
 
         if batch.topology_changed:
-            return ("full", self._full_build(), "topology-changed",
+            entry = self._timed(stage_seconds, "construct",
+                                self._full_build)
+            return ("full", entry, "topology-changed",
                     0, 0, False, None)
 
         prev = self._current
         if batch.increase_only:
-            reason = self._certify_increases(batch, prev)
+            reason = self._timed(stage_seconds, "certify",
+                                 self._certify_increases, batch, prev)
             if reason is None:
-                entry = self._compile_only(prev, fp)
+                entry = self._timed(stage_seconds, "construct",
+                                    self._compile_only, prev, fp)
                 return ("compile-only", entry, None, 0, 0, False, None)
         else:
             reason = "weight-decrease-present"
 
         if (self._enable_clusters and prev.recorder is not None
                 and prev.recorder.traces):
-            entry, reused, rebuilt, splice = self._clusters_build(prev,
-                                                                  batch)
+            entry, reused, rebuilt, splice = self._timed(
+                stage_seconds, "construct",
+                self._clusters_build, prev, batch)
             return ("clusters", entry, reason, reused, rebuilt, False,
                     splice)
-        entry, reused, rebuilt = self._partial_build(prev)
+        entry, reused, rebuilt = self._timed(
+            stage_seconds, "construct", self._partial_build, prev)
         return ("partial", entry, reason, reused, rebuilt, False, None)
 
     def _certify_increases(self, batch: ChangeBatch,

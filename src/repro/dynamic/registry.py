@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Union
 
 from ..exceptions import ArtifactError, ParameterError
 from ..core.compiled import load_artifact
+from ..telemetry.trace import maybe_span
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = 1
@@ -140,22 +141,24 @@ class ArtifactRegistry:
         an orphaned payload file the manifest never references.
         """
         generation = self._next_generation
-        filename = f"gen-{generation:06d}.cra"
-        path = self.root / filename
-        artifact.save(path)
-        record = GenerationRecord(
-            generation=generation,
-            kind=artifact.kind,
-            filename=filename,
-            sha256=_file_sha256(path),
-            num_vertices=artifact.num_vertices,
-            created=time.time(),
-            fingerprint=fingerprint,
-            note=note,
-        )
-        self._next_generation = generation + 1
-        self._records[generation] = record
-        self._write_manifest()
+        with maybe_span("registry.publish",
+                        attrs={"generation": generation}):
+            filename = f"gen-{generation:06d}.cra"
+            path = self.root / filename
+            artifact.save(path)
+            record = GenerationRecord(
+                generation=generation,
+                kind=artifact.kind,
+                filename=filename,
+                sha256=_file_sha256(path),
+                num_vertices=artifact.num_vertices,
+                created=time.time(),
+                fingerprint=fingerprint,
+                note=note,
+            )
+            self._next_generation = generation + 1
+            self._records[generation] = record
+            self._write_manifest()
         return record
 
     def pin(self, generation: int) -> GenerationRecord:

@@ -336,7 +336,7 @@ class SchemePipeline:
     def serve_async(self, workers: int = 0, kind: str = "routing",
                     max_batch: int = 128, max_wait_ms: float = 2.0,
                     max_pending: int = 1024, tier: str = "flat",
-                    **pool_kwargs) -> "RequestBroker":
+                    registry=None, **pool_kwargs) -> "RequestBroker":
         """Compile (building if needed) and front it with the async
         request broker — the streaming counterpart of :meth:`serve`.
 
@@ -366,6 +366,7 @@ class SchemePipeline:
             estimator = self.compile_estimation()
         return pooled_broker(router, estimator, workers=workers,
                              pool_kwargs=pool_kwargs,
+                             registry=registry,
                              max_batch=max_batch,
                              max_wait_ms=max_wait_ms,
                              max_pending=max_pending)
@@ -418,7 +419,11 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
     call.
     """
     from .core.scheme_builder import ConstructionReport
+    from .telemetry.trace import maybe_span
 
+    build_span = maybe_span("build", attrs={
+        "n": graph.num_vertices, "k": k, "seed": seed})
+    clusters_span = build_span.child("build.clusters")
     clusters = build_approx_clusters(graph, k, seed=seed,
                                      eps_override=eps_override,
                                      detection_mode=detection_mode,
@@ -426,6 +431,7 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
                                      engine=engine,
                                      small_level_explorer=cluster_explorer,
                                      detection_hook=detection_hook)
+    clusters_span.finish()
     ledger = CostLedger()
     ledger.merge(clusters.ledger)
 
@@ -434,14 +440,17 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
              for center, cluster in clusters.clusters.items()}
     if forest_builder is None:
         forest_builder = build_forest_routing
+    forest_span = build_span.child("build.forest")
     forest = forest_builder(trees, graph.num_vertices,
                             random.Random(seed + 1),
                             bfs_tree=clusters.bfs_tree,
                             port_of=network.port_of,
                             capacity_words=capacity_words,
                             engine=engine)
+    forest_span.finish()
     ledger.merge(forest.ledger)
 
+    assemble_span = build_span.child("build.assemble")
     tables, labels = _assemble_tables_and_labels(clusters, forest)
     if not use_tz_trick:
         for table in tables.values():
@@ -450,6 +459,16 @@ def _run_construction(graph: WeightedGraph, k: int, seed: int,
                            clusters=clusters, forest=forest,
                            tables=tables, labels=labels, ledger=ledger)
     estimation = estimation_from_clusters(graph, clusters)
+    assemble_span.finish()
+    # One synthesized child span per ledger phase, replaying the
+    # phase's measured wall seconds: the trace view of exactly what
+    # ``ledger.seconds_breakdown()`` reports.
+    for phase_name, phase_seconds in ledger.seconds_breakdown().items():
+        build_span.child("build.phase",
+                         {"phase": phase_name}).finish(
+            duration_s=phase_seconds)
+    build_span.finish(rounds=ledger.total_rounds,
+                      messages=ledger.total_messages)
 
     params = clusters.params
     return ConstructionReport(

@@ -55,6 +55,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError, ServingError
+from ..telemetry.trace import get_tracer, maybe_span, \
+    sampled_request_tracer
 from .metrics import BrokerMetrics
 
 #: Queue sentinel: "no more submissions, flush and exit".
@@ -65,14 +67,18 @@ _ESTIMATE = "estimate"
 
 
 class _Submission:
-    """One client request: its pairs, its future, its clock."""
+    """One client request: its pairs, its future, its clock, and (when
+    tracing is on) its ``serve.queue`` span — started at enqueue on the
+    submitter's task, finished at dispatch on the lane task (an
+    explicit cross-task link; contextvars do not cross tasks)."""
 
-    __slots__ = ("pairs", "future", "enqueued_at")
+    __slots__ = ("pairs", "future", "enqueued_at", "span")
 
-    def __init__(self, pairs, future, enqueued_at):
+    def __init__(self, pairs, future, enqueued_at, span=None):
         self.pairs = pairs
         self.future = future
         self.enqueued_at = enqueued_at
+        self.span = span
 
 
 class _Lane:
@@ -155,12 +161,16 @@ class RequestBroker:
         pipeline hands pools it opened here).
     metrics_window:
         Latency-reservoir size for :class:`BrokerMetrics`.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` the broker's
+        instruments register into (shared with a metrics endpoint or
+        the pools); default is a private registry per broker.
     """
 
     def __init__(self, router=None, estimator=None, *,
                  max_batch: int = 128, max_wait_ms: float = 2.0,
                  max_pending: int = 1024, own: Sequence = (),
-                 metrics_window: int = 65536) -> None:
+                 metrics_window: int = 65536, registry=None) -> None:
         if router is None and estimator is None:
             raise ParameterError(
                 "RequestBroker needs a router and/or an estimator "
@@ -206,7 +216,8 @@ class RequestBroker:
         self.metrics = BrokerMetrics(
             metrics_window,
             queue_depth=lambda: sum(lane.queue.qsize()
-                                    for lane in self._lanes.values()))
+                                    for lane in self._lanes.values()),
+            registry=registry)
         # One worker thread: fused dispatches run off-loop (the event
         # loop keeps accepting arrivals mid-dispatch, which is where
         # the next window's coalescing comes from) and strictly FIFO.
@@ -295,14 +306,27 @@ class RequestBroker:
         self._ensure_started()
         loop = self._loop
         router = self._router
+        swap_span = maybe_span("broker.swap",
+                               attrs={"backend": type(router).__name__})
         if callable(getattr(router, "swap", None)):
             # Pool backend: the pool swaps in place; the lane's serve
             # callable (bound to the pool) stays valid, and the pool's
             # generation counter is the attribution authority.  Runs on
             # the broker's own dispatch thread, strictly FIFO with the
             # fused windows.
-            latency = await loop.run_in_executor(
-                self._executor, router.swap, artifact)
+            swap_call = router.swap
+            if get_tracer() is not None:
+                # The pool swap runs on the dispatch thread, where the
+                # contextvar chain is empty — link its span explicitly.
+                def swap_call(art, _swap=router.swap,
+                              _parent=swap_span):
+                    return _swap(art, parent_span=_parent)
+            try:
+                latency = await loop.run_in_executor(
+                    self._executor, swap_call, artifact)
+            except BaseException as exc:
+                swap_span.finish(error=type(exc).__name__)
+                raise
             generation = router.generation
         else:
             for name in ("route_many", "validate_pairs"):
@@ -322,6 +346,8 @@ class RequestBroker:
             latency = loop.time() - start
         self._router_generation = generation
         self.metrics.record_swap(latency, generation)
+        swap_span.finish(generation=generation,
+                         swap_latency_s=round(latency, 6))
         return latency
 
     # -- submission ----------------------------------------------------
@@ -344,6 +370,19 @@ class RequestBroker:
         self._ensure_started()
         loop = self._loop
         sub = _Submission(pairs, loop.create_future(), loop.time())
+        # Head sampling: under a TrafficServer the serve.request span
+        # already made the decision (it is — or isn't — in this task's
+        # context); a direct broker call decides here.  serve.submit
+        # covers the enqueue (incl. backpressure waiting); its
+        # serve.queue child is finished by the lane task at dispatch
+        # time — the explicit cross-task link.
+        tracer = sampled_request_tracer()
+        submit_span = None
+        if tracer is not None:
+            submit_span = tracer.span(
+                "serve.submit",
+                attrs={"lane": kind, "pairs": len(pairs)})
+            sub.span = submit_span.child("serve.queue")
         lane.pending.add(sub.future)
         sub.future.add_done_callback(lane.pending.discard)
         self.metrics.record_submit()
@@ -356,7 +395,12 @@ class RequestBroker:
             # it forever.
             sub.future.cancel()
             self.metrics.record_cancelled()
+            if submit_span is not None:
+                sub.span.finish(error="cancelled")
+                submit_span.finish(error="cancelled")
             raise
+        if submit_span is not None:
+            submit_span.finish()
         if self._closed and not sub.future.done():
             # Raced past aclose(): the dispatcher may already have
             # flushed and exited, so fail deterministically instead of
@@ -431,23 +475,67 @@ class RequestBroker:
 
     async def _dispatch(self, lane: _Lane,
                         batch: List[_Submission]) -> None:
-        """Fuse one window, serve it off-loop, demultiplex results."""
+        """Fuse one window, serve it off-loop, demultiplex results.
+
+        The dispatch boundary is where the latency decomposition is
+        recorded: everything before ``dispatch_start`` is queue-wait
+        (per submission), everything after is service time (shared by
+        the whole fused window).
+        """
         live = [sub for sub in batch if not sub.future.done()]
         if not live:
+            for sub in batch:
+                if sub.span is not None:
+                    sub.span.finish(error="cancelled")
             return
         fused: List[Tuple[int, int]] = []
         for sub in live:
             fused.extend(sub.pairs)
         self.metrics.record_dispatch(len(fused))
+        dispatch_start = self._loop.time()
+        # Span bookkeeping: the window span parents to the first
+        # *sampled* submission's queue span (one connected trace per
+        # sampled request; other sampled submissions in the window
+        # link via their own queue spans), and each queue span ends
+        # now with its measured wait.  Windows with no sampled
+        # submission cost nothing — that is the sampling contract.
+        dispatch_span = None
+        parent = next((sub.span for sub in live
+                       if sub.span is not None), None)
+        if parent is not None:
+            dispatch_span = parent.child(
+                "serve.dispatch",
+                {"lane": lane.name, "fused_size": len(fused),
+                 "submissions": len(live)})
+        for sub in batch:
+            if sub.span is None:
+                continue
+            if sub.future.done():
+                sub.span.finish(error="cancelled")
+            else:
+                sub.span.finish(queue_wait_s=round(
+                    dispatch_start - sub.enqueued_at, 6))
+        # lane.serve is captured here, before the executor hop: an
+        # in-process swap rebinding it mid-window cannot split the
+        # window across artifacts.
+        serve = lane.serve
+        if dispatch_span is not None:
+            def serve(pairs, _serve=serve, _parent=dispatch_span):
+                # Executor thread: contextvars don't follow, so the
+                # worker span links to its parent explicitly.
+                worker_span = _parent.child("serve.worker")
+                try:
+                    return _serve(pairs)
+                finally:
+                    worker_span.finish()
         try:
-            # lane.serve is captured here, before the executor hop: an
-            # in-process swap rebinding it mid-window cannot split the
-            # window across artifacts.
             generation, results = await self._loop.run_in_executor(
-                self._executor, lane.serve, fused)
+                self._executor, serve, fused)
         except Exception as exc:
             # Window-scoped failure: every submission in this window
             # shares the cause; the lane keeps serving the next one.
+            if dispatch_span is not None:
+                dispatch_span.finish(error=type(exc).__name__)
             for sub in live:
                 if not sub.future.done():
                     self.metrics.record_failure()
@@ -455,14 +543,23 @@ class RequestBroker:
             return
         if lane.name == _ROUTE:
             self.metrics.record_window_generation(generation)
+        demux_span = (dispatch_span.child("serve.demux")
+                      if dispatch_span is not None else None)
         offset = 0
         now = self._loop.time()
+        service = now - dispatch_start
         for sub in live:
             chunk = results[offset:offset + len(sub.pairs)]
             offset += len(sub.pairs)
             if not sub.future.done():
                 sub.future.set_result(chunk)
-                self.metrics.record_done(now - sub.enqueued_at)
+                self.metrics.record_done(
+                    now - sub.enqueued_at,
+                    queue_wait_seconds=dispatch_start - sub.enqueued_at,
+                    service_seconds=service)
+        if demux_span is not None:
+            demux_span.finish()
+            dispatch_span.finish(generation=generation)
 
     # -- lifecycle -----------------------------------------------------
     async def drain(self) -> None:
@@ -514,7 +611,7 @@ class RequestBroker:
 
 
 def pooled_broker(router=None, estimator=None, *, workers: int = 0,
-                  pool_kwargs: Optional[dict] = None,
+                  pool_kwargs: Optional[dict] = None, registry=None,
                   **broker_kwargs) -> RequestBroker:
     """Construct a broker, optionally over fresh ``RouterPool``s.
 
@@ -524,22 +621,30 @@ def pooled_broker(router=None, estimator=None, *, workers: int = 0,
     :class:`~repro.serving.RouterPool` the broker *owns* (closed by
     ``aclose()``); any failure mid-construction closes the pools
     already opened instead of leaving orphaned worker processes.
+
+    ``registry`` (optional) is threaded through to both the broker and
+    the pools, so one :class:`~repro.telemetry.MetricsRegistry` holds
+    the whole serve path — this is what ``--metrics-port`` exposes.
     """
     from ..serving import RouterPool
 
     own = []
     try:
         if workers:
-            kwargs = pool_kwargs or {}
+            kwargs = dict(pool_kwargs or {})
+            if registry is not None:
+                kwargs.setdefault("registry", registry)
             if router is not None:
-                router = RouterPool(router, workers=workers, **kwargs)
+                router = RouterPool(router, workers=workers,
+                                    role="route", **kwargs)
                 own.append(router)
             if estimator is not None:
                 estimator = RouterPool(estimator, workers=workers,
-                                       **kwargs)
+                                       role="estimate", **kwargs)
                 own.append(estimator)
         return RequestBroker(router=router, estimator=estimator,
-                             own=own, **broker_kwargs)
+                             own=own, registry=registry,
+                             **broker_kwargs)
     except BaseException:
         for pool in own:
             pool.close()

@@ -43,7 +43,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
+from ..telemetry.registry import MetricsRegistry
 from .metrics import LatencyRecorder
+
+#: Series the load generator registers — pinned by a regression test
+#: so ``benchmarks/bench_traffic.py`` and the CLI print identical
+#: names (they all read the same shared registry).
+LOADGEN_SERIES = ("repro_loadgen_requests_total",
+                  "repro_loadgen_latency_seconds")
 
 #: Zipf exponent for the hotspot mix (s=1.1: heavy but not degenerate).
 HOTSPOT_EXPONENT = 1.1
@@ -139,6 +146,8 @@ class LoadReport:
     target_rps: Optional[float] = None   #: open-loop only
     clients: Optional[int] = None        #: closed-loop only
     latency: Dict = field(default_factory=dict)
+    #: The registry the run reported into (not serialized).
+    registry: Optional[MetricsRegistry] = None
 
     def to_dict(self) -> Dict:
         out = {
@@ -172,6 +181,29 @@ class LoadReport:
                 f"({self.errors} errors)")
 
 
+def _instruments(registry: Optional[MetricsRegistry], mode: str,
+                 op: str, mix: str):
+    """Loadgen telemetry on a shared (or fresh) registry.
+
+    Returns ``(registry, recorder, ok, err)``: the recorder mirrors
+    into ``repro_loadgen_latency_seconds`` and the counters are the
+    ``outcome``-labeled children of ``repro_loadgen_requests_total`` —
+    the exact series names in :data:`LOADGEN_SERIES`.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    requests = registry.counter(
+        LOADGEN_SERIES[0], "load-generator requests by outcome",
+        labelnames=("mode", "op", "mix", "outcome"))
+    latency = registry.histogram(
+        LOADGEN_SERIES[1], "load-generator request latency",
+        labelnames=("mode", "op", "mix"))
+    recorder = LatencyRecorder(
+        instrument=latency.labels(mode=mode, op=op, mix=mix))
+    ok = requests.labels(mode=mode, op=op, mix=mix, outcome="ok")
+    err = requests.labels(mode=mode, op=op, mix=mix, outcome="error")
+    return registry, recorder, ok, err
+
+
 async def _issue(target, op: str, pair: Tuple[int, int],
                  recorder: LatencyRecorder, clock) -> bool:
     """One request round-trip; records latency, returns success."""
@@ -192,15 +224,21 @@ async def run_closed_loop(target_factory, n: int, *,
                           requests_per_client: int = 100,
                           op: str = "route", mix: str = "uniform",
                           seed: int = 0, think_ms: float = 0.0,
-                          batch_size: int = 1) -> LoadReport:
+                          batch_size: int = 1,
+                          registry: Optional[MetricsRegistry] = None
+                          ) -> LoadReport:
     """N self-paced clients, each issuing ``requests_per_client``
     requests of ``batch_size`` pairs with ``think_ms`` pause between.
 
     ``target_factory`` is an async callable returning a per-client
     target (e.g. a fresh :class:`TrafficClient`, or the shared broker
-    wrapped so ``aclose`` is a no-op).
+    wrapped so ``aclose`` is a no-op).  Pass ``registry`` to report
+    through a shared telemetry registry (series names in
+    :data:`LOADGEN_SERIES`); a private one is created otherwise and
+    returned on the report.
     """
-    recorder = LatencyRecorder()
+    registry, recorder, ok_count, err_count = _instruments(
+        registry, "closed", op, mix)
     errors = 0
     loop = asyncio.get_running_loop()
     clock = loop.time
@@ -221,8 +259,10 @@ async def run_closed_loop(target_factory, n: int, *,
                     else:
                         await target.estimate_batch(pairs)
                     recorder.observe(clock() - start)
+                    ok_count.inc()
                     done += 1
                 except Exception:
+                    err_count.inc()
                     errors += 1
                 if think:
                     await asyncio.sleep(think)
@@ -240,7 +280,8 @@ async def run_closed_loop(target_factory, n: int, *,
     return LoadReport(
         mode="closed", op=op, mix=mix, seed=seed, clients=clients,
         requests=total, errors=errors, duration_seconds=elapsed,
-        achieved_rps=total / elapsed, latency=recorder.summary())
+        achieved_rps=total / elapsed, latency=recorder.summary(),
+        registry=registry)
 
 
 # ----------------------------------------------------------------------
@@ -250,8 +291,9 @@ async def run_open_loop(target_factory, n: int, *,
                         rps: float = 500.0,
                         total_requests: int = 1000,
                         op: str = "route", mix: str = "uniform",
-                        seed: int = 0,
-                        connections: int = 4) -> LoadReport:
+                        seed: int = 0, connections: int = 4,
+                        registry: Optional[MetricsRegistry] = None
+                        ) -> LoadReport:
     """Poisson arrivals at ``rps``: inter-arrival gaps are seeded
     ``Expovariate(rps)`` draws, and every arrival fires as its own task
     whether or not earlier ones finished — queueing delay is *in* the
@@ -260,8 +302,10 @@ async def run_open_loop(target_factory, n: int, *,
     ``connections`` targets are opened up front and arrivals round-robin
     over them (one multiplexed connection would serialize at the
     writer; per-arrival connections would measure connect cost).
+    ``registry`` works as in :func:`run_closed_loop`.
     """
-    recorder = LatencyRecorder()
+    registry, recorder, ok_count, err_count = _instruments(
+        registry, "open", op, mix)
     errors = 0
     loop = asyncio.get_running_loop()
     clock = loop.time
@@ -274,7 +318,9 @@ async def run_open_loop(target_factory, n: int, *,
         nonlocal errors
         try:
             await _issue(target, op, pair, recorder, clock)
+            ok_count.inc()
         except Exception:
+            err_count.inc()
             errors += 1
 
     start = clock()
@@ -299,7 +345,8 @@ async def run_open_loop(target_factory, n: int, *,
     return LoadReport(
         mode="open", op=op, mix=mix, seed=seed, target_rps=rps,
         requests=done, errors=errors, duration_seconds=elapsed,
-        achieved_rps=done / elapsed, latency=recorder.summary())
+        achieved_rps=done / elapsed, latency=recorder.summary(),
+        registry=registry)
 
 
 # ----------------------------------------------------------------------
@@ -341,18 +388,19 @@ async def _main_async(args) -> Dict:
         raise ParameterError(
             f"server does not serve {args.op!r} (INFO: {info})")
     n = int(info[n_key])
+    registry = MetricsRegistry()
     if args.mode == "closed":
         report = await run_closed_loop(
             factory, n, clients=args.clients,
             requests_per_client=args.requests, op=args.op,
             mix=args.mix, seed=args.seed, think_ms=args.think_ms,
-            batch_size=args.batch_size)
+            batch_size=args.batch_size, registry=registry)
     else:
         report = await run_open_loop(
             factory, n, rps=args.rps, total_requests=args.requests,
             op=args.op, mix=args.mix, seed=args.seed,
-            connections=args.connections)
-    return report.to_dict()
+            connections=args.connections, registry=registry)
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -381,10 +429,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=None,
                         help="write the JSON report here")
+    parser.add_argument("--print-metrics", action="store_true",
+                        help="also print the run's telemetry series "
+                             "(exposition text, same names the "
+                             "benchmarks report)")
     args = parser.parse_args(argv)
-    record = asyncio.run(_main_async(args))
+    report = asyncio.run(_main_async(args))
+    record = report.to_dict()
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
     print(json.dumps(record, indent=2))
+    if args.print_metrics and report.registry is not None:
+        print(report.registry.render(), end="")
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(record, fh, indent=2)

@@ -7,16 +7,22 @@ both are first-class here:
   latencies with nearest-rank percentiles (p50/p95/p99).  Bounded so a
   long-lived server never grows without limit; the window (default
   65536 samples) is large enough that percentiles describe *recent*
-  traffic, which is what an operator watches.
-* :class:`BrokerMetrics` — the broker's counters: submissions,
-  completions, failures, fused dispatches, the fused-batch-size
-  histogram (exact counts — sizes are bounded by ``max_batch`` so the
-  dict cannot grow past that), and a live queue-depth gauge wired to
-  the broker's pending queues.
+  traffic, which is what an operator watches.  A recorder can mirror
+  its observations into a registry :class:`~repro.telemetry.Histogram`
+  so the same samples feed both the exact-percentile snapshot and the
+  ``/metrics`` exposition.
+* :class:`BrokerMetrics` — the broker's counters, now stored as
+  instruments in a :class:`~repro.telemetry.MetricsRegistry` (a
+  private one per broker by default; pass ``registry=`` to aggregate
+  into a shared or the process-global one).  ``snapshot()`` reads the
+  instruments back out and returns the exact same JSON-able dict
+  schema as before the migration — pinned by
+  ``tests/telemetry/test_schema_stability.py`` — plus the queue-wait /
+  service-time decomposition recorded at the dispatch boundary.
 
-Everything is plain Python updated from the event loop thread — no
-locks needed, and ``snapshot()`` returns a JSON-able dict so the CLI,
-the load generator, and the benchmark all report the same numbers.
+Everything is updated from the event loop thread; instrument updates
+take an uncontended lock (the registry is also read by the metrics
+HTTP endpoint and ``STATS`` verb, which may race the loop).
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ import math
 from collections import deque
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional
+
+from ..telemetry.registry import MetricsRegistry
 
 #: Default bounded-reservoir size for per-request latencies.
 DEFAULT_WINDOW = 65536
@@ -55,17 +63,28 @@ def percentile(sorted_samples: List[float], q: float) -> float:
 
 
 class LatencyRecorder:
-    """Bounded reservoir of latencies (seconds) with percentile report."""
+    """Bounded reservoir of latencies (seconds) with percentile report.
 
-    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+    ``instrument`` (a registry histogram or one of its label children)
+    receives a mirrored ``observe()`` per sample: the reservoir stays
+    the source of exact nearest-rank percentiles — bucketed histograms
+    can only approximate them — while the instrument gives scrapers
+    the cumulative-bucket view.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 instrument: "Optional[object]" = None) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self._samples: deque = deque(maxlen=window)
         self.count = 0          #: total observations (beyond the window)
+        self._instrument = instrument
 
     def observe(self, seconds: float) -> None:
         self._samples.append(seconds)
         self.count += 1
+        if self._instrument is not None:
+            self._instrument.observe(seconds)
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -97,58 +116,142 @@ class LatencyRecorder:
 
 
 class BrokerMetrics:
-    """Counters + latency window for one :class:`RequestBroker`."""
+    """Counters + latency windows for one :class:`RequestBroker`,
+    backed by registry instruments.
+
+    The latency triple decomposes at the dispatch boundary:
+    ``latency`` (enqueue → demux, the combined number operators always
+    had), ``queue_wait`` (enqueue → the fused window's dispatch), and
+    ``service`` (dispatch → demux, shared by every submission fused
+    into that window).  ``queue_wait + service ≈ latency`` per request
+    up to the demux loop's bookkeeping.
+    """
 
     def __init__(self, window: int = DEFAULT_WINDOW,
-                 queue_depth: Optional[Callable[[], int]] = None) -> None:
-        self.latency = LatencyRecorder(window)
-        self.submitted = 0        #: submissions accepted into the queue
-        self.completed = 0        #: submissions resolved successfully
-        self.failed = 0           #: submissions resolved with an error
-        self.cancelled = 0        #: submissions dropped by their caller
-        self.dispatches = 0       #: fused backend calls issued
-        self.fused_pairs = 0      #: total pairs across fused dispatches
-        #: fused-batch size -> how many dispatches had exactly that many
-        #: pairs; bounded by ``max_batch`` distinct keys.
-        self.batch_size_hist: Dict[int, int] = {}
-        self.swaps = 0            #: successful artifact hot-swaps
-        self.generation = 0       #: routing-artifact generation gauge
-        #: artifact generation -> fused windows served entirely by it;
-        #: every window lands on exactly one generation (the zero-
-        #: downtime invariant), so these counts sum to ``dispatches``.
-        self.generation_windows: Dict[int, int] = {}
-        self.swap_latency = LatencyRecorder(window)
+                 queue_depth: Optional[Callable[[], int]] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self.registry = reg
+        self._events = reg.counter(
+            "repro_broker_requests_total",
+            "broker request lifecycle events", labelnames=("event",))
+        self._dispatches = reg.counter(
+            "repro_broker_dispatches_total", "fused backend calls issued")
+        self._fused_pairs = reg.counter(
+            "repro_broker_fused_pairs_total",
+            "total pairs across fused dispatches")
+        self._batch_sizes = reg.counter(
+            "repro_broker_batch_size_total",
+            "fused dispatches by exact batch size", labelnames=("size",))
+        self._swaps = reg.counter(
+            "repro_broker_swaps_total", "successful artifact hot-swaps")
+        self._generation = reg.gauge(
+            "repro_broker_generation", "routing-artifact generation")
+        self._generation.set(0)   # scrapeable before the first swap
+        self._generation_windows = reg.counter(
+            "repro_broker_generation_windows_total",
+            "fused windows served entirely by one artifact generation",
+            labelnames=("generation",))
+        self._depth_gauge = reg.gauge(
+            "repro_broker_queue_depth",
+            "submissions currently waiting for a window")
         self._queue_depth = queue_depth or (lambda: 0)
+        self._depth_gauge.set_function(self._queue_depth)
+
+        self.latency = LatencyRecorder(window, instrument=reg.histogram(
+            "repro_broker_latency_seconds",
+            "end-to-end request latency (enqueue to demux)"))
+        self.queue_wait = LatencyRecorder(window, instrument=reg.histogram(
+            "repro_broker_queue_wait_seconds",
+            "time from enqueue to fused-window dispatch"))
+        self.service = LatencyRecorder(window, instrument=reg.histogram(
+            "repro_broker_service_seconds",
+            "time from fused-window dispatch to demux"))
+        self.swap_latency = LatencyRecorder(window, instrument=reg.histogram(
+            "repro_broker_swap_latency_seconds",
+            "hot-swap duration (request to all-worker rebind)"))
 
     # -- recording (event-loop thread only) ----------------------------
     def record_submit(self) -> None:
-        self.submitted += 1
+        self._events.labels(event="submitted").inc()
 
     def record_dispatch(self, fused_size: int) -> None:
-        self.dispatches += 1
-        self.fused_pairs += fused_size
-        self.batch_size_hist[fused_size] = \
-            self.batch_size_hist.get(fused_size, 0) + 1
+        self._dispatches.inc()
+        self._fused_pairs.inc(fused_size)
+        self._batch_sizes.labels(size=str(fused_size)).inc()
 
-    def record_done(self, latency_seconds: float) -> None:
-        self.completed += 1
+    def record_done(self, latency_seconds: float,
+                    queue_wait_seconds: Optional[float] = None,
+                    service_seconds: Optional[float] = None) -> None:
+        self._events.labels(event="completed").inc()
         self.latency.observe(latency_seconds)
+        if queue_wait_seconds is not None:
+            self.queue_wait.observe(queue_wait_seconds)
+        if service_seconds is not None:
+            self.service.observe(service_seconds)
 
     def record_failure(self) -> None:
-        self.failed += 1
+        self._events.labels(event="failed").inc()
 
     def record_cancelled(self) -> None:
-        self.cancelled += 1
+        self._events.labels(event="cancelled").inc()
 
     def record_swap(self, latency_seconds: float,
                     generation: int) -> None:
-        self.swaps += 1
-        self.generation = generation
+        self._swaps.inc()
+        self._generation.set(generation)
         self.swap_latency.observe(latency_seconds)
 
     def record_window_generation(self, generation: int) -> None:
-        self.generation_windows[generation] = \
-            self.generation_windows.get(generation, 0) + 1
+        self._generation_windows.labels(generation=str(generation)).inc()
+
+    # -- reading the instruments back ----------------------------------
+    def _event_count(self, event: str) -> int:
+        return int(self._events.labels(event=event).value)
+
+    @property
+    def submitted(self) -> int:
+        return self._event_count("submitted")
+
+    @property
+    def completed(self) -> int:
+        return self._event_count("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._event_count("failed")
+
+    @property
+    def cancelled(self) -> int:
+        return self._event_count("cancelled")
+
+    @property
+    def dispatches(self) -> int:
+        return int(self._dispatches.value)
+
+    @property
+    def fused_pairs(self) -> int:
+        return int(self._fused_pairs.value)
+
+    @property
+    def batch_size_hist(self) -> Dict[int, int]:
+        """Fused-batch size -> dispatch count (rebuilt from the labeled
+        counter children; bounded by ``max_batch`` distinct keys)."""
+        return {int(values[0]): int(child.value) for values, child in
+                self._batch_sizes.children().items()}
+
+    @property
+    def swaps(self) -> int:
+        return int(self._swaps.value)
+
+    @property
+    def generation(self) -> int:
+        return int(self._generation.value)
+
+    @property
+    def generation_windows(self) -> Dict[int, int]:
+        return {int(values[0]): int(child.value) for values, child in
+                self._generation_windows.children().items()}
 
     # -- reporting -----------------------------------------------------
     @property
@@ -157,12 +260,18 @@ class BrokerMetrics:
         return self._queue_depth()
 
     def mean_fused_size(self) -> float:
-        if not self.dispatches:
+        dispatches = self.dispatches
+        if not dispatches:
             return 0.0
-        return self.fused_pairs / self.dispatches
+        return self.fused_pairs / dispatches
 
     def snapshot(self) -> Dict:
-        """One JSON-able dict with everything above."""
+        """One JSON-able dict with everything above.
+
+        Schema-stable across the registry migration (the pre-telemetry
+        keys are unchanged); ``queue_wait`` and ``service`` are the
+        dispatch-boundary decomposition of ``latency``.
+        """
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -175,6 +284,8 @@ class BrokerMetrics:
             "batch_size_hist": {str(k): v for k, v in
                                 sorted(self.batch_size_hist.items())},
             "latency": self.latency.summary(),
+            "queue_wait": self.queue_wait.summary(),
+            "service": self.service.summary(),
             "swaps": self.swaps,
             "generation": self.generation,
             "generation_windows": {str(k): v for k, v in

@@ -15,6 +15,8 @@ back verbatim):
 ``E <id> <u> <v> [<u> <v> ...]``      estimate a batch of pairs
 ``PING <id>``                         liveness probe
 ``INFO <id>``                         server/artifact metadata
+``STATS <id>``                        flattened metrics snapshot
+``TRACE <id> [<n>]``                  last ``n`` finished trace spans
 ====================================  =================================
 
 Responses:
@@ -65,8 +67,11 @@ _OP_ROUTE = "R"
 _OP_ESTIMATE = "E"
 _OP_PING = "PING"
 _OP_INFO = "INFO"
+_OP_STATS = "STATS"
+_OP_TRACE = "TRACE"
 
-REQUEST_OPS = (_OP_ROUTE, _OP_ESTIMATE, _OP_PING, _OP_INFO)
+REQUEST_OPS = (_OP_ROUTE, _OP_ESTIMATE, _OP_PING, _OP_INFO,
+               _OP_STATS, _OP_TRACE)
 
 
 # ----------------------------------------------------------------------
@@ -148,15 +153,18 @@ def _strict_int(text: str) -> int:
 
 
 class Request:
-    """One decoded request frame."""
+    """One decoded request frame.  ``limit`` is the optional span
+    count of a ``TRACE`` request (``None`` elsewhere)."""
 
-    __slots__ = ("op", "request_id", "pairs")
+    __slots__ = ("op", "request_id", "pairs", "limit")
 
     def __init__(self, op: str, request_id: str,
-                 pairs: Optional[List[Tuple[int, int]]] = None):
+                 pairs: Optional[List[Tuple[int, int]]] = None,
+                 limit: Optional[int] = None):
         self.op = op
         self.request_id = request_id
         self.pairs = pairs if pairs is not None else []
+        self.limit = limit
 
     def __repr__(self) -> str:
         return (f"Request(op={self.op!r}, id={self.request_id!r}, "
@@ -180,12 +188,30 @@ def decode_request(payload: str,
     if "\n" in request_id or len(request_id) > 64:
         raise ProtocolError("request id must be <= 64 chars, no "
                             "newlines")
-    if op in (_OP_PING, _OP_INFO):
+    if op in (_OP_PING, _OP_INFO, _OP_STATS):
         if len(fields) != 2:
             raise ProtocolError(
                 f"{op} takes no fields beyond the id, got "
                 f"{len(fields) - 2}")
         return Request(op, request_id)
+    if op == _OP_TRACE:
+        if len(fields) > 3:
+            raise ProtocolError(
+                f"{op} takes at most one span-count field, got "
+                f"{len(fields) - 2}")
+        limit = 32
+        if len(fields) == 3:
+            try:
+                limit = _strict_int(fields[2])
+            except ValueError:
+                raise ProtocolError(
+                    f"TRACE span count {fields[2][:32]!r} is not an "
+                    "integer") from None
+            if not 1 <= limit <= 4096:
+                raise ProtocolError(
+                    f"TRACE span count must be in [1, 4096], got "
+                    f"{limit}")
+        return Request(op, request_id, limit=limit)
     coords = fields[2:]
     if not coords:
         raise ProtocolError(f"{op} frame carries no pairs")
@@ -210,11 +236,13 @@ def decode_request(payload: str,
 
 
 def encode_request(op: str, request_id: str,
-                   pairs: Sequence[Tuple[int, int]] = ()) -> str:
+                   pairs: Sequence[Tuple[int, int]] = (),
+                   extra: Sequence[str] = ()) -> str:
     parts = [op, request_id]
     for u, v in pairs:
         parts.append(str(u))
         parts.append(str(v))
+    parts.extend(extra)
     return "\t".join(parts)
 
 

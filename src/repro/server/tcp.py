@@ -31,12 +31,15 @@ then closes the broker (which closes owned pools, unlinking shm).
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..exceptions import ParameterError, ProtocolError, ReproError, \
     ServingError
+from ..telemetry.http import MetricsHTTPServer
+from ..telemetry.trace import NOOP_SPAN, get_tracer, maybe_span
 from . import protocol
 from .broker import RequestBroker
 from .protocol import FramePayloadError, Request
@@ -65,18 +68,33 @@ class TrafficServer:
         Serve on a unix-domain socket at this path instead of TCP.
     max_pairs:
         Per-request pair cap handed to the protocol decoder.
+    metrics_port:
+        When set, also serve HTTP ``GET /metrics`` (Prometheus text
+        exposition of :attr:`registry`) and ``GET /healthz`` on this
+        port (``0`` = kernel-assigned; read back from
+        :attr:`metrics_port`).  ``None`` (default) disables the
+        endpoint.
+    registry:
+        The :class:`~repro.telemetry.MetricsRegistry` the endpoint and
+        the ``STATS`` verb expose; defaults to the broker's own.
     """
 
     def __init__(self, broker: RequestBroker, host: str = "127.0.0.1",
                  port: int = 0, unix_path: Optional[str] = None,
                  max_pairs: int = protocol.MAX_PAIRS_PER_REQUEST,
-                 own_broker: bool = True) -> None:
+                 own_broker: bool = True,
+                 metrics_port: Optional[int] = None,
+                 registry=None) -> None:
         self.broker = broker
         self._host = host
         self._port = port
         self._unix_path = unix_path
         self._max_pairs = max_pairs
         self._own_broker = own_broker
+        self.registry = (registry if registry is not None
+                         else broker.metrics.registry)
+        self._metrics_port = metrics_port
+        self._metrics_server: Optional[MetricsHTTPServer] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
         self._shutting_down = asyncio.Event()
@@ -96,6 +114,13 @@ class TrafficServer:
             self._server = await asyncio.start_server(
                 self._handle_connection, host=self._host,
                 port=self._port)
+        if self._metrics_port is not None:
+            self._metrics_server = await MetricsHTTPServer(
+                self.registry,
+                host=self._host if self._unix_path is None
+                else "127.0.0.1",
+                port=self._metrics_port,
+                health_fn=self._health_fields).start()
         return self
 
     @property
@@ -104,6 +129,23 @@ class TrafficServer:
         if self._server is None or self._unix_path is not None:
             return None
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound metrics HTTP port (``None`` when disabled)."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.port
+
+    def _health_fields(self) -> Dict:
+        fields: Dict = {
+            "shutting_down": self._shutting_down.is_set(),
+            "queue_depth": self.broker.metrics.queue_depth,
+            "connections_served": self.connections_served,
+        }
+        if self.broker.serves_routing:
+            fields["generation"] = self.broker.router_generation
+        return fields
 
     @property
     def address(self) -> str:
@@ -150,6 +192,9 @@ class TrafficServer:
             return
         self._shutting_down.set()
         try:
+            if self._metrics_server is not None:
+                await self._metrics_server.aclose()
+                self._metrics_server = None
             if self._server is not None:
                 self._server.close()
             if self._unix_path is not None:
@@ -255,10 +300,22 @@ class TrafficServer:
         if len(head) >= 2 and head[1]:
             request_id = head[1].replace("\n", " ") \
                                 .replace("\r", " ")[:64] or "-"
+        # Head sampling happens here, at the trace entry point: one
+        # decision per request, carried to the broker stages through the
+        # span context (they key off "is a span live", never re-sample).
+        tracer = get_tracer()
+        if tracer is not None and tracer.sampled():
+            span_cm = tracer.span("serve.request", root=True,
+                                  attrs={"op": head[0] if head else "?"})
+        else:
+            span_cm = NOOP_SPAN
         try:
-            request = protocol.decode_request(payload, self._max_pairs)
-            request_id = request.request_id
-            reply = await self._answer(request)
+            with span_cm as sp:
+                request = protocol.decode_request(payload,
+                                                  self._max_pairs)
+                request_id = request.request_id
+                sp.set(id=request_id)
+                reply = await self._answer(request)
         except ProtocolError as exc:
             reply = protocol.encode_error(request_id, "protocol",
                                           str(exc))
@@ -292,6 +349,11 @@ class TrafficServer:
             estimates = await self.broker.estimate_batch(request.pairs)
             return protocol.encode_ok(
                 rid, [f"{e:.17g}" for e in estimates])
+        if request.op == "STATS":
+            return protocol.encode_ok(rid, self._stats_fields())
+        if request.op == "TRACE":
+            return protocol.encode_ok(rid,
+                                      self._trace_fields(request.limit))
         raise ProtocolError(       # pragma: no cover - decoder gates ops
             f"unhandled op {request.op!r}")
 
@@ -315,6 +377,33 @@ class TrafficServer:
             fields.append(
                 f"generation={self.broker.router_generation}")
         return fields
+
+    def _stats_fields(self) -> list:
+        """The broker metrics snapshot flattened to dotted
+        ``key=value`` fields (nested dicts become ``outer.inner``), so
+        a client needs no JSON parser to read live stats."""
+        fields = []
+
+        def emit(prefix: str, value) -> None:
+            if isinstance(value, dict):
+                for key in sorted(value, key=str):
+                    emit(f"{prefix}.{key}" if prefix else str(key),
+                         value[key])
+            else:
+                fields.append(f"{prefix}={value}")
+
+        emit("", self.broker.metrics.snapshot())
+        return fields
+
+    def _trace_fields(self, limit: Optional[int]) -> list:
+        """The most recent finished spans, one compact-JSON object per
+        field (compact separators: no tabs, so frames stay valid).
+        Empty when tracing is disabled."""
+        tracer = get_tracer()
+        if tracer is None:
+            return []
+        return [json.dumps(record, separators=(",", ":"), default=str)
+                for record in tracer.export(limit)]
 
     async def swap_routing(self, artifact) -> float:
         """Hot-swap the routing artifact the server's broker serves
@@ -377,7 +466,8 @@ class TrafficClient:
             if not fut.done():
                 fut.set_exception(exc)
 
-    async def _call(self, op: str, pairs=()) -> protocol.Response:
+    async def _call(self, op: str, pairs=(),
+                    extra=()) -> protocol.Response:
         if self._closed:
             raise ServingError("client is closed")
         if self._reader_task.done():
@@ -388,7 +478,7 @@ class TrafficClient:
         fut = asyncio.get_running_loop().create_future()
         self._pending[rid] = fut
         self._writer.write(protocol.encode_frame(
-            protocol.encode_request(op, rid, pairs)))
+            protocol.encode_request(op, rid, pairs, extra)))
         await self._writer.drain()
         if self._reader_task.done() and not fut.done():
             # The reader died between registration and now; its
@@ -431,6 +521,27 @@ class TrafficClient:
     async def ping(self) -> bool:
         response = await self._call("PING")
         return response.fields == ["PONG"]
+
+    async def stats(self) -> Dict[str, float]:
+        """Live broker metrics: the flattened dotted-key snapshot the
+        ``STATS`` verb exposes, values parsed back to numbers."""
+        response = await self._call("STATS")
+        out: Dict[str, float] = {}
+        for field in response.fields:
+            key, _, value = field.partition("=")
+            try:
+                num = float(value)
+            except ValueError:
+                continue   # non-numeric diagnostic field
+            out[key] = int(num) if num.is_integer() else num
+        return out
+
+    async def trace(self, limit: Optional[int] = None) -> list:
+        """The server's most recent finished trace spans (newest
+        last) as dicts; empty when server-side tracing is off."""
+        extra = () if limit is None else (str(limit),)
+        response = await self._call("TRACE", extra=extra)
+        return [json.loads(field) for field in response.fields]
 
     async def info(self) -> Dict[str, str]:
         response = await self._call("INFO")

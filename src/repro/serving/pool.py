@@ -43,6 +43,8 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.compiled import CompiledEstimation, CompiledScheme, _as_batch
 from ..core.dense import DenseRoutingPlane
 from ..exceptions import ParameterError, ServingError
+from ..telemetry.registry import MetricsRegistry
+from ..telemetry.trace import maybe_span
 from . import columnar
 from .columnar import RESULT_TRANSPORTS
 from .sharding import resolve_policy
@@ -233,6 +235,14 @@ class RouterPool:
         ``"rows"`` pickles the result objects directly (the legacy
         path, kept for measurement and as a fallback).  Both are
         bit-identical.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` for the
+        pool's dispatch/swap instruments (default: a private registry
+        per pool).  Two pools may share one registry — series are
+        disambiguated by the ``role`` label.
+    role:
+        Label value for this pool's metric series (default: ``route``
+        or ``estimate`` from the artifact kind).
     """
 
     def __init__(self, artifact, workers: Optional[int] = None,
@@ -241,7 +251,9 @@ class RouterPool:
                  transport: Optional[str] = None,
                  materialize: bool = True,
                  shards_per_worker: int = 4,
-                 result_transport: str = "columnar") -> None:
+                 result_transport: str = "columnar",
+                 registry: Optional[MetricsRegistry] = None,
+                 role: Optional[str] = None) -> None:
         # State first, so close() is safe from any failure below.
         self._closed = False
         self._procs: List = []
@@ -288,6 +300,44 @@ class RouterPool:
         self._artifact = artifact
         self._policy_name = policy
         self._policy = resolve_policy(policy)
+        if role is None:
+            role = ("estimate" if isinstance(artifact,
+                                             CompiledEstimation)
+                    else "route")
+        self._role = str(role)
+        reg = registry if registry is not None else MetricsRegistry()
+        self.registry = reg
+        label = {"role": self._role}
+        self._m_dispatches = reg.counter(
+            "repro_pool_dispatches_total",
+            "sharded batches served by the pool",
+            labelnames=("role",)).labels(**label)
+        self._m_pairs = reg.counter(
+            "repro_pool_pairs_total",
+            "total pairs served across pool batches",
+            labelnames=("role",)).labels(**label)
+        self._m_shards = reg.counter(
+            "repro_pool_shards_total",
+            "shard tasks dispatched to workers",
+            labelnames=("role",)).labels(**label)
+        self._m_swaps = reg.counter(
+            "repro_pool_swaps_total",
+            "successful artifact hot-swaps",
+            labelnames=("role",)).labels(**label)
+        self._m_swap_failures = reg.counter(
+            "repro_pool_swap_failures_total",
+            "hot-swaps that failed (pool poisoned)",
+            labelnames=("role",)).labels(**label)
+        self._m_generation = reg.gauge(
+            "repro_pool_generation",
+            "artifact generation currently serving",
+            labelnames=("role",)).labels(**label)
+        self._m_workers = reg.gauge(
+            "repro_pool_workers", "live worker process count",
+            labelnames=("role",)).labels(**label)
+        self._m_workers.set_function(
+            lambda procs=self._procs: sum(
+                1 for p in procs if p.is_alive()))
         try:
             ctx = mp.get_context(start_method)
         except ValueError:
@@ -361,6 +411,20 @@ class RouterPool:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def stats(self) -> dict:
+        """JSON-able counter snapshot read from the pool's registry
+        instruments (schema pinned by the telemetry tests)."""
+        return {
+            "role": self._role,
+            "workers": self.workers,
+            "generation": self._generation,
+            "dispatches": int(self._m_dispatches.value),
+            "pairs": int(self._m_pairs.value),
+            "shards": int(self._m_shards.value),
+            "swaps": int(self._m_swaps.value),
+            "swap_failures": int(self._m_swap_failures.value),
+        }
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
@@ -503,6 +567,9 @@ class RouterPool:
         shards = [idxs for idxs in
                   self._policy(pairs, num_shards) if idxs]
         call_id = next(self._call_counter)
+        self._m_dispatches.inc()
+        self._m_pairs.inc(len(pairs))
+        self._m_shards.inc(len(shards))
         codec = self._result_transport
         for shard_id, idxs in enumerate(shards):
             self._task_q.put((call_id, shard_id, method,
@@ -573,7 +640,7 @@ class RouterPool:
         opened with, ``+1`` per successful :meth:`swap`."""
         return self._generation
 
-    def swap(self, artifact) -> float:
+    def swap(self, artifact, parent_span=None) -> float:
         """Atomically replace the served artifact in every worker.
 
         Returns the swap latency in seconds.  The swap serializes with
@@ -618,6 +685,10 @@ class RouterPool:
         transport = self._transport_name
         if transport == "inherit":
             transport = "shm" if numpy_available() else "pickle"
+        swap_span = maybe_span(
+            "pool.swap", parent=parent_span,
+            attrs={"role": self._role, "workers": len(self._procs),
+                   "transport": transport})
         start = time.perf_counter()
         with self._serve_lock:
             if self._closed:
@@ -626,6 +697,11 @@ class RouterPool:
             new_handle = ArtifactHandle(artifact, transport,
                                         self._start_method,
                                         materialize=self._materialize)
+            # One rebind span per worker, finished as its ack arrives:
+            # the parent-side observation of each worker's re-attach
+            # window (enqueue of the swap message to that pid's ack).
+            rebind_spans = {p.pid: swap_span.child(
+                "pool.rebind", {"pid": p.pid}) for p in self._procs}
             try:
                 swap_id = next(self._swap_counter)
                 for _ in self._procs:
@@ -635,7 +711,13 @@ class RouterPool:
                     tag, who, payload = self._next_result()
                     if tag == "swapped" and payload == swap_id:
                         acked.add(who)
+                        span = rebind_spans.pop(who, None)
+                        if span is not None:
+                            span.finish()
                     elif tag == "swap-err" and payload[0] == swap_id:
+                        span = rebind_spans.pop(who, None)
+                        if span is not None:
+                            span.finish(error="attach-failed")
                         raise ServingError(
                             f"worker pid {who} failed to attach the "
                             "new artifact during swap"
@@ -645,13 +727,22 @@ class RouterPool:
                     "RouterPool is poisoned: a hot swap failed midway "
                     f"({exc}); workers may serve mixed artifact "
                     "generations — close the pool")
+                self._m_swap_failures.inc()
+                for span in rebind_spans.values():
+                    span.finish(error="swap-aborted")
+                swap_span.finish(error=type(exc).__name__)
                 new_handle.close()
                 raise
             old_handle, self._handle = self._handle, new_handle
             old_handle.close()
             self._artifact = artifact
             self._generation += 1
-        return time.perf_counter() - start
+            self._m_swaps.inc()
+            self._m_generation.set(self._generation)
+        latency = time.perf_counter() - start
+        swap_span.finish(generation=self._generation,
+                         swap_latency_s=round(latency, 6))
+        return latency
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:

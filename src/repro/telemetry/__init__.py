@@ -1,0 +1,37 @@
+"""Unified telemetry plane: metrics registry, structured tracing, and
+live introspection.
+
+Three pieces, all dependency-free:
+
+* :mod:`repro.telemetry.registry` — typed Counter/Gauge/Histogram
+  instruments with label sets and Prometheus-style text exposition.
+  Every subsystem's counters (broker, pool, incremental builder, load
+  generator, build ledger) are registry instruments behind their
+  unchanged snapshot APIs.
+* :mod:`repro.telemetry.trace` — explicit span objects with
+  contextvar propagation, monotonic durations and JSONL export,
+  threaded through build, serve, and control-plane paths.
+* :mod:`repro.telemetry.http` — the optional ``/metrics`` +
+  ``/healthz`` endpoint ``TrafficServer --metrics-port`` exposes.
+
+See ``src/repro/telemetry/README.md`` for the instrument taxonomy and
+span-name conventions.
+"""
+
+from .registry import (
+    Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_BUCKETS,
+    get_registry, set_registry, parse_exposition,
+)
+from .trace import (
+    Span, Tracer, DEFAULT_SAMPLE_EVERY, current_span, get_tracer,
+    set_tracer, maybe_span, span_tree, format_span_tree,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "get_registry", "set_registry",
+    "parse_exposition",
+    "Span", "Tracer", "DEFAULT_SAMPLE_EVERY", "current_span",
+    "get_tracer", "set_tracer", "maybe_span", "span_tree",
+    "format_span_tree",
+]

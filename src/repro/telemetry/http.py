@@ -1,0 +1,139 @@
+"""Minimal asyncio HTTP endpoint for ``/metrics`` and ``/healthz``.
+
+``TrafficServer --metrics-port`` starts one of these next to the TSV
+listener.  It is deliberately tiny: GET-only, one request per
+connection (``Connection: close``), no TLS, no routing table beyond
+the two paths — enough for a Prometheus scraper or ``curl``, nothing
+more.  Anything fancier belongs behind a real reverse proxy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, Optional
+
+from .registry import MetricsRegistry
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class MetricsHTTPServer:
+    """Serves ``GET /metrics`` (text exposition) and ``GET /healthz``
+    (JSON, extendable via ``health_fn``)."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 host: str = "127.0.0.1", port: int = 0,
+                 health_fn: Optional[Callable[[], Dict]] = None) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.health_fn = health_fn
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "MetricsHTTPServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request_line = await asyncio.wait_for(
+                    reader.readline(), timeout=5.0)
+            except asyncio.TimeoutError:
+                return
+            if not request_line or len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1]
+            # drain headers (bounded) so well-behaved clients see a
+            # clean close
+            total = len(request_line)
+            while True:
+                line = await asyncio.wait_for(reader.readline(),
+                                              timeout=5.0)
+                total += len(line)
+                if line in (b"\r\n", b"\n", b"") or \
+                        total > _MAX_REQUEST_BYTES:
+                    break
+            if method != "GET":
+                await self._respond(writer, 405, "text/plain",
+                                    "method not allowed\n")
+            elif path.split("?", 1)[0] == "/metrics":
+                await self._respond(
+                    writer, 200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.registry.render())
+            elif path.split("?", 1)[0] == "/healthz":
+                body: Dict = {"status": "ok"}
+                if self.health_fn is not None:
+                    try:
+                        body.update(self.health_fn())
+                    except Exception as exc:
+                        body = {"status": "degraded",
+                                "error": type(exc).__name__}
+                await self._respond(writer, 200, "application/json",
+                                    json.dumps(body) + "\n")
+            else:
+                await self._respond(writer, 404, "text/plain",
+                                    "not found\n")
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int,
+                       content_type: str, body: str) -> None:
+        reason = {200: "OK", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "OK")
+        payload = body.encode("utf-8")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+
+async def scrape(host: str, port: int, path: str = "/metrics",
+                 timeout: float = 5.0) -> str:
+    """Fetch ``path`` from a running endpoint (asyncio, stdlib-only);
+    returns the response body.  Used by tests and the CLI snapshot."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout)
+    try:
+        writer.write((f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                      f"Connection: close\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    if " 200 " not in status_line + " ":
+        raise RuntimeError(f"scrape failed: {status_line}")
+    return body.decode("utf-8")

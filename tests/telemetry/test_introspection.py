@@ -1,0 +1,305 @@
+"""Live introspection: STATS/TRACE verbs, the /metrics endpoint, and
+the end-to-end trace shapes this PR's acceptance criteria pin.
+
+* one serve request under the TrafficServer produces a single
+  *connected* trace: request → submit → queue → dispatch → worker →
+  demux, all sharing one trace id;
+* one build produces per-phase spans whose names match
+  ``CostLedger.seconds_breakdown()`` keys exactly;
+* a /metrics scrape round-trips through the exposition parser;
+* a swap under the server emits linked broker/pool swap spans.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.pipeline import SchemePipeline
+from repro.server import protocol
+from repro.server.broker import RequestBroker
+from repro.server.tcp import TrafficClient, TrafficServer
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    parse_exposition,
+    set_tracer,
+)
+from repro.telemetry.http import MetricsHTTPServer, scrape
+
+
+def run(coro, timeout=60.0):
+    async def timed():
+        return await asyncio.wait_for(coro, timeout)
+    return asyncio.run(timed())
+
+
+@pytest.fixture(scope="module")
+def built():
+    return SchemePipeline().workload("grid", 25).params(2).seed(3)
+
+
+@pytest.fixture(scope="module")
+def compiled(built):
+    return built.compile()
+
+
+@pytest.fixture
+def tracer():
+    # sample_every=1: these tests assert exact span shapes, so every
+    # request must be traced (production default head-samples 1-in-N)
+    t = Tracer(sample_every=1)
+    old = set_tracer(t)
+    yield t
+    set_tracer(old)
+
+
+# ----------------------------------------------------------------------
+# Protocol: STATS / TRACE decoding
+# ----------------------------------------------------------------------
+class TestProtocolVerbs:
+    def test_stats_decodes(self):
+        req = protocol.decode_request("STATS\t7")
+        assert req.op == "STATS" and req.request_id == "7"
+
+    def test_stats_rejects_extra_fields(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request("STATS\t7\tbogus")
+
+    def test_trace_default_limit(self):
+        req = protocol.decode_request("TRACE\t7")
+        assert req.op == "TRACE" and req.limit == 32
+
+    def test_trace_explicit_limit(self):
+        req = protocol.decode_request("TRACE\t7\t100")
+        assert req.limit == 100
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "5000", "ten", "1_0"])
+    def test_trace_limit_validation(self, bad):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(f"TRACE\t7\t{bad}")
+
+    def test_trace_rejects_two_extras(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request("TRACE\t7\t10\t20")
+
+
+# ----------------------------------------------------------------------
+# Server verbs end to end
+# ----------------------------------------------------------------------
+class TestServerVerbs:
+    def test_stats_verb_flattened_snapshot(self, compiled):
+        async def go():
+            broker = RequestBroker(router=compiled)
+            server = await TrafficServer(broker, port=0).start()
+            try:
+                async with await TrafficClient.connect(
+                        port=server.port) as client:
+                    await client.route_batch([(0, 7), (3, 12)])
+                    return await client.stats()
+            finally:
+                await server.shutdown()
+
+        stats = run(go())
+        # dotted keys mirror the nested snapshot dict
+        assert stats["completed"] == 1
+        assert stats["fused_pairs"] == 2
+        assert "latency.p99_ms" in stats
+        assert "queue_wait.count" in stats
+        assert "service.count" in stats
+
+    def test_trace_verb_disabled_tracing_is_empty(self, compiled):
+        async def go():
+            broker = RequestBroker(router=compiled)
+            server = await TrafficServer(broker, port=0).start()
+            try:
+                async with await TrafficClient.connect(
+                        port=server.port) as client:
+                    await client.route(0, 7)
+                    return await client.trace()
+            finally:
+                await server.shutdown()
+
+        old = set_tracer(None)
+        try:
+            assert run(go()) == []
+        finally:
+            set_tracer(old)
+
+    def test_single_request_single_connected_trace(self, compiled,
+                                                   tracer):
+        """THE acceptance pin: one request, one trace id, the full
+        submit → queue → dispatch → worker → demux chain linked."""
+        async def go():
+            broker = RequestBroker(router=compiled)
+            server = await TrafficServer(broker, port=0).start()
+            try:
+                async with await TrafficClient.connect(
+                        port=server.port) as client:
+                    await client.route(0, 24)
+                    return await client.trace(64)
+            finally:
+                await server.shutdown()
+
+        spans = run(go())
+        route_spans = [s for s in spans
+                       if s["attrs"].get("op") == "R"
+                       or not s["name"].startswith("serve.request")]
+        by_name = {}
+        for record in route_spans:
+            by_name.setdefault(record["name"], record)
+        chain = ["serve.request", "serve.submit", "serve.queue",
+                 "serve.dispatch", "serve.worker", "serve.demux"]
+        assert set(chain) <= set(by_name), sorted(by_name)
+        trace_ids = {by_name[name]["trace_id"] for name in chain}
+        assert len(trace_ids) == 1, "chain spans span multiple traces"
+        # parent links: each stage hangs off the previous one
+        assert by_name["serve.submit"]["parent_id"] == \
+            by_name["serve.request"]["span_id"]
+        assert by_name["serve.queue"]["parent_id"] == \
+            by_name["serve.submit"]["span_id"]
+        assert by_name["serve.dispatch"]["parent_id"] == \
+            by_name["serve.queue"]["span_id"]
+        assert by_name["serve.worker"]["parent_id"] == \
+            by_name["serve.dispatch"]["span_id"]
+        assert by_name["serve.demux"]["parent_id"] == \
+            by_name["serve.dispatch"]["span_id"]
+        # and every span carries a measured duration
+        assert all(by_name[n]["duration_s"] is not None for n in chain)
+
+    def test_swap_under_server_emits_linked_spans(self, compiled,
+                                                  tracer):
+        async def go():
+            broker = RequestBroker(router=compiled)
+            server = await TrafficServer(broker, port=0).start()
+            try:
+                async with await TrafficClient.connect(
+                        port=server.port) as client:
+                    await client.route(0, 7)
+                    await server.swap_routing(compiled)
+                    await client.route(0, 7)
+            finally:
+                await server.shutdown()
+            return tracer.export()
+
+        spans = run(go())
+        swap = next(s for s in spans if s["name"] == "broker.swap")
+        assert swap["attrs"]["generation"] == 1
+        generations = {s["attrs"].get("generation")
+                       for s in spans if s["name"] == "serve.dispatch"}
+        assert generations == {0, 1}
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_scrape_round_trips_through_parser(self, compiled):
+        async def go():
+            broker = RequestBroker(router=compiled)
+            server = await TrafficServer(broker, port=0,
+                                         metrics_port=0).start()
+            try:
+                async with await TrafficClient.connect(
+                        port=server.port) as client:
+                    await client.route_batch([(0, 7), (3, 12)])
+                text = await scrape("127.0.0.1", server.metrics_port)
+            finally:
+                await server.shutdown()
+            return text
+
+        text = run(go())
+        fams = parse_exposition(text)
+        required = {"repro_broker_requests_total",
+                    "repro_broker_dispatches_total",
+                    "repro_broker_latency_seconds",
+                    "repro_broker_queue_wait_seconds",
+                    "repro_broker_service_seconds",
+                    "repro_broker_queue_depth",
+                    "repro_broker_generation"}
+        assert required <= set(fams), sorted(fams)
+        assert fams["repro_broker_latency_seconds"].kind == "histogram"
+        submitted = {
+            dict(labels).get("event"): value
+            for labels, value in
+            fams["repro_broker_requests_total"].samples.items()}
+        assert submitted["submitted"] == 1
+
+    def test_healthz(self, compiled):
+        async def go():
+            broker = RequestBroker(router=compiled)
+            server = await TrafficServer(broker, port=0,
+                                         metrics_port=0).start()
+            try:
+                return await scrape("127.0.0.1", server.metrics_port,
+                                    path="/healthz")
+            finally:
+                await server.shutdown()
+
+        body = json.loads(run(go()))
+        assert body["status"] == "ok"
+        assert body["generation"] == 0
+
+    def test_unknown_path_404(self):
+        async def go():
+            registry = MetricsRegistry()
+            server = await MetricsHTTPServer(registry, port=0).start()
+            try:
+                with pytest.raises(RuntimeError):
+                    await scrape("127.0.0.1", server.port,
+                                 path="/nope")
+            finally:
+                await server.aclose()
+        run(go())
+
+    def test_endpoint_absent_without_metrics_port(self, compiled):
+        async def go():
+            broker = RequestBroker(router=compiled)
+            server = await TrafficServer(broker, port=0).start()
+            try:
+                return server.metrics_port
+            finally:
+                await server.shutdown()
+        assert run(go()) is None
+
+
+# ----------------------------------------------------------------------
+# Build pipeline spans
+# ----------------------------------------------------------------------
+class TestBuildSpans:
+    def test_build_phase_spans_match_ledger(self, tracer):
+        """Acceptance pin: per-phase build spans carry exactly the
+        ``CostLedger.seconds_breakdown()`` keys, with its durations."""
+        built = (SchemePipeline().workload("grid", 16).params(2)
+                 .seed(5).build())
+        ledger = built.scheme.ledger
+        spans = tracer.export()
+        build = next(s for s in spans if s["name"] == "build")
+        phase_spans = [s for s in spans if s["name"] == "build.phase"]
+        expected = ledger.seconds_breakdown()
+        assert {s["attrs"]["phase"] for s in phase_spans} \
+            == set(expected)
+        for record in phase_spans:
+            assert record["parent_id"] == build["span_id"]
+            assert record["duration_s"] == pytest.approx(
+                expected[record["attrs"]["phase"]])
+        # the structural children are present too
+        names = {s["name"] for s in spans
+                 if s["parent_id"] == build["span_id"]}
+        assert {"build.clusters", "build.forest",
+                "build.assemble"} <= names
+        assert build["attrs"]["rounds"] == ledger.total_rounds
+
+    def test_ledger_publish_matches_breakdown(self, tracer):
+        built = (SchemePipeline().workload("grid", 16).params(2)
+                 .seed(5).build())
+        ledger = built.scheme.ledger
+        registry = MetricsRegistry()
+        ledger.publish(registry)
+        fams = parse_exposition(registry.render())
+        rounds = {dict(labels)["phase"]: value
+                  for labels, value in
+                  fams["repro_build_rounds_total"].samples.items()}
+        assert rounds == {k: float(v)
+                          for k, v in ledger.breakdown().items()}

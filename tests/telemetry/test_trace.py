@@ -1,0 +1,193 @@
+"""Tracing semantics: contextvar propagation, explicit links, export.
+
+The propagation contract is the part worth pinning: spans follow the
+*context*, not a process-global, so concurrent asyncio tasks each see
+their own ancestry, and cross-task/cross-thread links only exist when
+made explicitly via ``child()``/``parent=``.
+"""
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    Tracer,
+    current_span,
+    format_span_tree,
+    get_tracer,
+    maybe_span,
+    set_tracer,
+    span_tree,
+)
+from repro.telemetry.trace import NOOP_SPAN, read_jsonl
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    old = set_tracer(t)
+    yield t
+    set_tracer(old)
+
+
+class TestSpanBasics:
+    def test_context_manager_times_and_records(self, tracer):
+        with tracer.span("op") as sp:
+            pass
+        assert sp.duration_s is not None and sp.duration_s >= 0
+        assert tracer.finished() == [sp]
+
+    def test_nesting_via_contextvar(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+
+    def test_root_forces_new_trace(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("island", root=True) as island:
+                pass
+        assert island.parent_id is None
+        assert island.trace_id != outer.trace_id
+
+    def test_explicit_child_link(self, tracer):
+        parent = tracer.span("a")
+        kid = parent.child("b", attrs={"k": 1})
+        kid.finish()
+        parent.finish()
+        assert kid.parent_id == parent.span_id
+        assert kid.attrs == {"k": 1}
+
+    def test_finish_is_idempotent(self, tracer):
+        sp = tracer.span("op")
+        sp.finish()
+        first = sp.duration_s
+        sp.finish()
+        assert sp.duration_s == first
+        assert len(tracer.finished()) == 1
+
+    def test_synthesized_duration_override(self, tracer):
+        sp = tracer.span("phase")
+        sp.finish(duration_s=1.25)
+        assert sp.duration_s == 1.25
+
+    def test_exception_recorded_as_error_attr(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (sp,) = tracer.finished()
+        assert sp.attrs["error"] == "RuntimeError"
+
+
+class TestPropagation:
+    def test_concurrent_tasks_have_independent_context(self, tracer):
+        """Two interleaved tasks must each see their own ancestry."""
+        parents = {}
+
+        async def work(name):
+            with tracer.span(name):
+                await asyncio.sleep(0.01)
+                with tracer.span(f"{name}.child") as kid:
+                    parents[name] = kid.parent_id
+
+        async def main():
+            await asyncio.gather(work("a"), work("b"))
+
+        asyncio.run(main())
+        by_name = {s.name: s for s in tracer.finished()}
+        assert parents["a"] == by_name["a"].span_id
+        assert parents["b"] == by_name["b"].span_id
+
+    def test_context_does_not_leak_into_threads(self, tracer):
+        seen = []
+        with tracer.span("outer"):
+            t = threading.Thread(
+                target=lambda: seen.append(current_span()))
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestTracerLifecycle:
+    def test_disabled_tracing_returns_noop_singleton(self):
+        old = set_tracer(None)
+        try:
+            assert get_tracer() is None
+            sp = maybe_span("anything", attrs={"x": 1})
+            assert sp is NOOP_SPAN
+            assert sp.child("kid") is sp
+            with sp:
+                pass  # context protocol works, records nothing
+        finally:
+            set_tracer(old)
+
+    def test_maybe_span_uses_installed_tracer(self, tracer):
+        with maybe_span("op") as sp:
+            pass
+        assert sp in tracer.finished()
+
+    def test_ring_buffer_drops_oldest(self):
+        t = Tracer(capacity=4)
+        for i in range(10):
+            t.span(f"s{i}").finish()
+        names = [s.name for s in t.finished()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert t.dropped == 6
+
+    def test_finished_limit(self, tracer):
+        for i in range(5):
+            tracer.span(f"s{i}").finish()
+        assert [s.name for s in tracer.finished(2)] == ["s3", "s4"]
+
+    def test_jsonl_sink(self, tracer, tmp_path):
+        buf = io.StringIO()
+        tracer.set_sink(buf)
+        with tracer.span("a", attrs={"k": "v"}):
+            pass
+        line = buf.getvalue().strip()
+        record = json.loads(line)
+        assert record["name"] == "a"
+        assert record["attrs"] == {"k": "v"}
+        assert "\t" not in line  # compact JSON is TSV-frame-safe
+
+    def test_read_jsonl_skips_truncated_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"span_id":1,"parent_id":null,"name":"a"}\n'
+                        '\n{"span_id":2,"parent_')
+        records = read_jsonl(str(path))
+        assert [r["span_id"] for r in records] == [1]
+
+
+class TestRendering:
+    def _records(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("mid"):
+                tracer.span("leaf").finish()
+        return tracer.export()
+
+    def test_span_tree_depths(self, tracer):
+        tree = span_tree(self._records(tracer))
+        depths = {r["name"]: d for r, d in tree}
+        assert depths == {"root": 0, "mid": 1, "leaf": 2}
+
+    def test_orphans_become_roots(self, tracer):
+        records = self._records(tracer)
+        # drop the root: mid + leaf must still render (as a new root)
+        no_root = [r for r in records if r["name"] != "root"]
+        tree = span_tree(no_root)
+        depths = {r["name"]: d for r, d in tree}
+        assert depths == {"mid": 0, "leaf": 1}
+
+    def test_format_span_tree_indents(self, tracer):
+        text = format_span_tree(self._records(tracer))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        root_line = next(l for l in lines if "root" in l)
+        leaf_line = next(l for l in lines if "leaf" in l)
+        assert root_line.index("root") < leaf_line.index("leaf")
